@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper table/figure.  A session-scoped
+runner shares the on-disk simulation cache, so a warm cache makes the
+suite fast while a cold one still completes in minutes.  The reduced
+``FAST_WORKLOADS`` subset keeps cold benchmark runs tractable; passing
+the full evaluation list reproduces the paper-scale tables (see
+EXPERIMENTS.md for full-scale results).
+"""
+
+import pytest
+
+from repro.experiments import Runner
+
+#: Two register-insensitive + three register-sensitive workloads.
+FAST_WORKLOADS = ["btree", "kmeans", "backprop", "srad", "lavamd"]
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return Runner()
+
+
+@pytest.fixture(scope="session")
+def fast_workloads():
+    return list(FAST_WORKLOADS)

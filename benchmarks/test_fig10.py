@@ -1,0 +1,17 @@
+"""Benchmark: Figure 10 -- register file power on configuration #7."""
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, runner, fast_workloads):
+    result = benchmark.pedantic(
+        fig10, args=(runner, fast_workloads), rounds=1, iterations=1,
+    )
+    print("\n" + result.render())
+    summary = result.summary
+    # Paper: all three save power vs baseline (RFC -35%, LTRF -35%,
+    # LTRF+ -46%); LTRF+ is the lowest.
+    for policy in ("RFC", "LTRF", "LTRF+"):
+        assert summary[f"{policy}_mean"] < 1.0
+    assert summary["LTRF+_mean"] < summary["LTRF_mean"]
+    assert summary["LTRF+_mean"] < summary["RFC_mean"]

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 11 -- maximum tolerable register file latency."""
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, runner, fast_workloads):
+    result = benchmark.pedantic(
+        fig11, args=(runner, fast_workloads), rounds=1, iterations=1,
+    )
+    print("\n" + result.render())
+    summary = result.summary
+    # Paper means: BL 1x, RFC 2.1x, LTRF 5.3x, LTRF+ 6.2x.  Shape:
+    # BL lowest, RFC ~2x, LTRF well above RFC, LTRF+ >= LTRF.
+    assert summary["BL_mean"] < summary["RFC_mean"]
+    assert summary["RFC_mean"] < summary["LTRF_mean"]
+    assert summary["LTRF_mean"] <= summary["LTRF+_mean"] + 0.2
+    assert summary["LTRF_mean"] > 2.0
+    assert summary["LTRF_mean"] > 1.4 * summary["RFC_mean"]

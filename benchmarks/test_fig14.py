@@ -1,0 +1,17 @@
+"""Benchmark: Figure 14 -- LTRF vs software-managed hierarchies."""
+
+from repro.experiments import fig14
+
+
+def test_fig14(benchmark, runner):
+    result = benchmark.pedantic(
+        fig14, args=(runner, ["btree", "backprop", "srad"]),
+        rounds=1, iterations=1,
+    )
+    print("\n" + result.render())
+    summary = result.summary
+    # Paper ordering of tolerable latency:
+    # BL < RFC ~ SHRF < LTRF-strand < LTRF (register-interval).
+    assert summary["BL_tolerable"] <= summary["RFC_tolerable"]
+    assert summary["RFC_tolerable"] < summary["LTRF-strand_tolerable"]
+    assert summary["LTRF-strand_tolerable"] < summary["LTRF_tolerable"]

@@ -1,0 +1,26 @@
+"""Benchmarks: Table 1, Figure 2, Table 2 (static reproductions)."""
+
+from repro.experiments import fig2, table1, table2
+
+
+def test_table1(benchmark):
+    result = benchmark(table1)
+    print("\n" + result.render())
+    # Paper: Fermi 1.4x/2.5x, Maxwell 2.3x/5.9x.
+    assert 1.2 <= result.summary["fermi_avg_x"] <= 1.6
+    assert 2.0 <= result.summary["maxwell_avg_x"] <= 2.6
+    assert 5.0 <= result.summary["maxwell_max_x"] <= 6.5
+
+
+def test_fig2(benchmark):
+    result = benchmark(fig2)
+    print("\n" + result.render())
+    # Paper: >60% of Pascal's on-chip storage is register file.
+    assert result.summary["pascal_rf_share"] > 0.6
+
+
+def test_table2(benchmark):
+    result = benchmark(table2)
+    print("\n" + result.render())
+    # The analytic model tracks the published latencies to ~30%.
+    assert result.summary["mean_model_error"] < 0.3

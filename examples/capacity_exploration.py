@@ -1,0 +1,47 @@
+"""Explore the Table 2 design space on real(istic) workloads.
+
+For each high-capacity register file design point, runs a register-
+sensitive and a register-insensitive workload under every policy and
+prints the normalised IPC -- a miniature of the paper's Figure 9 plus
+the power view of Figure 10.
+
+Run with:  python examples/capacity_exploration.py
+"""
+
+from repro.experiments import Runner, baseline_config, table2_config
+from repro.power import design, normalized_power
+
+WORKLOADS = ("backprop", "btree")          # sensitive, insensitive
+POLICIES = ("BL", "RFC", "LTRF", "LTRF+", "Ideal")
+DESIGN_POINTS = (6, 7)                      # TFET-SRAM and DWM
+
+
+def main():
+    runner = Runner()
+    for config_id in DESIGN_POINTS:
+        point = design(config_id)
+        print(f"\n=== configuration #{config_id}: {point.cell}, "
+              f"{point.capacity_scale}x capacity, "
+              f"{point.latency_scale}x latency ===")
+        config = table2_config(config_id)
+        for workload in WORKLOADS:
+            base = runner.simulate(workload, "BL", baseline_config())
+            cells = []
+            for policy in POLICIES:
+                record = runner.simulate(workload, policy, config)
+                cells.append(f"{policy}={record.ipc / base.ipc:4.2f}")
+            print(f"  {workload:10s} " + "  ".join(cells))
+
+        print("  register file power (normalised to baseline #1):")
+        for workload in WORKLOADS:
+            base = runner.simulate(workload, "BL", baseline_config())
+            cells = []
+            for policy in ("RFC", "LTRF", "LTRF+"):
+                record = runner.simulate(workload, policy, config)
+                power = normalized_power(record, base, config_id, policy)
+                cells.append(f"{policy}={power:4.2f}")
+            print(f"  {workload:10s} " + "  ".join(cells))
+
+
+if __name__ == "__main__":
+    main()

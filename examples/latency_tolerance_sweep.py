@@ -1,0 +1,38 @@
+"""How much register file latency can each design tolerate?
+
+Sweeps the main register file latency multiple at constant capacity and
+reports each design's *maximum tolerable latency* (largest multiple
+within 5% IPC loss) -- the paper's Figure 11/14 metric.
+
+Run with:  python examples/latency_tolerance_sweep.py
+"""
+
+from repro.experiments import (
+    LATENCY_GRID,
+    Runner,
+    max_tolerable_latency,
+    normalized_sweep,
+)
+
+WORKLOADS = ("backprop", "btree")
+POLICIES = ("BL", "RFC", "SHRF", "LTRF-strand", "LTRF", "LTRF+")
+
+
+def main():
+    runner = Runner()
+    grid_text = "  ".join(f"{m:.0f}x" for m in LATENCY_GRID)
+    for workload in WORKLOADS:
+        print(f"\n=== {workload}: normalised IPC over latency {grid_text} ===")
+        for policy in POLICIES:
+            sweep = normalized_sweep(runner, policy, workload)
+            tolerable = max_tolerable_latency(sweep)
+            curve = "  ".join(f"{v:.2f}" for v in sweep)
+            print(f"  {policy:12s} {curve}   -> tolerates {tolerable:.1f}x")
+    print(
+        "\nExpected ordering (paper Figs 11/14): BL < RFC ~ SHRF < "
+        "LTRF-strand < LTRF < LTRF+."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""LTRF: Latency-Tolerant Register Files for GPUs (ASPLOS 2018) -- a
+from-scratch Python reproduction.
+
+Layers
+------
+``repro.ir``
+    PTX-like kernel IR: instructions, CFGs, trace generation, liveness.
+``repro.compiler``
+    The paper's software half: register-interval formation
+    (Algorithms 1 and 2), strands, PREFETCH insertion.
+``repro.arch``
+    The hardware half: a cycle-level SM with a two-level warp scheduler,
+    banked main register file, partitioned register file cache, WCB.
+``repro.policies``
+    The comparison points: BL, Ideal, RFC, SHRF, LTRF, LTRF+,
+    LTRF-strand, LTRF-pass1.
+``repro.power``
+    Table 2 design points, analytic CACTI-style scaling, energy model.
+``repro.workloads``
+    Synthetic CUDA-SDK/Rodinia/Parboil stand-ins (35-workload suite).
+``repro.experiments``
+    One entry point per paper table/figure, with cached simulation.
+
+Quickstart
+----------
+>>> from repro import GPUConfig, StreamingMultiprocessor, policy_by_name
+>>> from repro.workloads import get_kernel
+>>> sm = StreamingMultiprocessor(GPUConfig(), policy_by_name("LTRF"))
+>>> result = sm.run(get_kernel("backprop"))
+>>> result.ipc > 0
+True
+"""
+
+from repro.arch import GPUConfig, MemoryConfig, SimulationResult, StreamingMultiprocessor
+from repro.compiler import CompiledKernel, compile_kernel
+from repro.ir import Kernel, KernelBuilder
+from repro.policies import POLICIES, policy_by_name
+from repro.workloads import WorkloadSpec, build_kernel, get_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledKernel",
+    "GPUConfig",
+    "Kernel",
+    "KernelBuilder",
+    "MemoryConfig",
+    "POLICIES",
+    "SimulationResult",
+    "StreamingMultiprocessor",
+    "WorkloadSpec",
+    "build_kernel",
+    "compile_kernel",
+    "get_kernel",
+    "policy_by_name",
+    "__version__",
+]

@@ -1,0 +1,42 @@
+"""Hardware substrate: the cycle-level SM model (GPGPU-Sim substitute)."""
+
+from repro.arch.address_alloc import AddressAllocationUnit, AllocationError
+from repro.arch.config import (
+    WARP_REGISTER_BYTES,
+    GPUConfig,
+    MemoryConfig,
+    registers_demand_kb,
+    warps_needed_for_occupancy,
+)
+from repro.arch.gpu import GPU, GPUResult
+from repro.arch.main_register_file import MainRegisterFile, MRFStats
+from repro.arch.memory import AccessResult, MemoryHierarchy, MemoryStats
+from repro.arch.rf_cache import RegisterFileCache, RFCStats
+from repro.arch.sm import SimulationResult, StreamingMultiprocessor
+from repro.arch.warp import Warp, WarpState
+from repro.arch.wcb import WarpControlBlock, wcb_storage_bits
+
+__all__ = [
+    "AccessResult",
+    "GPU",
+    "GPUResult",
+    "AddressAllocationUnit",
+    "AllocationError",
+    "GPUConfig",
+    "MainRegisterFile",
+    "MemoryConfig",
+    "MemoryHierarchy",
+    "MemoryStats",
+    "MRFStats",
+    "RegisterFileCache",
+    "RFCStats",
+    "SimulationResult",
+    "StreamingMultiprocessor",
+    "WARP_REGISTER_BYTES",
+    "Warp",
+    "WarpControlBlock",
+    "WarpState",
+    "registers_demand_kb",
+    "warps_needed_for_occupancy",
+    "wcb_storage_bits",
+]

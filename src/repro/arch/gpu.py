@@ -1,0 +1,65 @@
+"""Multi-SM GPU wrapper.
+
+The paper simulates 24 SMs (Table 3); all of its reported metrics are
+per-SM IPC ratios, so the single-SM model in :mod:`repro.arch.sm` is
+what the experiments use.  This wrapper exists for users who want
+chip-level numbers: it runs ``num_sms`` independent SMs over disjoint
+warp groups (GPU SMs share only the L2/DRAM, which our per-SM hierarchy
+slices statically -- see DESIGN.md's simplification notes) and
+aggregates their results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.arch.config import GPUConfig
+from repro.arch.sm import SimulationResult, StreamingMultiprocessor
+from repro.ir.kernel import Kernel
+
+
+@dataclass
+class GPUResult:
+    """Aggregate of all SMs' runs."""
+
+    per_sm: List[SimulationResult]
+
+    @property
+    def cycles(self) -> int:
+        """Chip completion time: the slowest SM."""
+        return max(result.cycles for result in self.per_sm)
+
+    @property
+    def instructions(self) -> int:
+        return sum(result.instructions for result in self.per_sm)
+
+    @property
+    def ipc(self) -> float:
+        """Chip-level IPC (instructions per chip cycle)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def mean_sm_ipc(self) -> float:
+        values = [result.ipc for result in self.per_sm]
+        return sum(values) / len(values) if values else 0.0
+
+
+class GPU:
+    """A chip of independent SMs running the same kernel grid."""
+
+    def __init__(self, config: GPUConfig, policy_factory,
+                 num_sms: int = 24) -> None:
+        if num_sms < 1:
+            raise ValueError("num_sms must be positive")
+        self.config = config
+        self.policy_factory = policy_factory
+        self.num_sms = num_sms
+
+    def run(self, kernel: Kernel, seed: int = 0) -> GPUResult:
+        """Run ``kernel`` on every SM with per-SM distinct warp seeds."""
+        results = []
+        for sm_index in range(self.num_sms):
+            sm = StreamingMultiprocessor(self.config, self.policy_factory)
+            results.append(sm.run(kernel, seed=seed + sm_index * 1009))
+        return GPUResult(per_sm=results)

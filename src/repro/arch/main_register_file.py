@@ -1,0 +1,159 @@
+"""The banked main register file (MRF).
+
+Models the two properties the paper's evaluation hinges on:
+
+* **Access latency**: bank access time scaled by the configuration's
+  ``mrf_latency_multiple`` (Table 2), plus crossbar traversal.
+* **Bank occupancy**: the baseline HP-SRAM file is pipelined, but the
+  slow high-density technologies are not (the paper extracts timing
+  with CACTI's non-pipelined bank models), so occupancy grows toward
+  the full access latency as the latency multiple grows
+  (:attr:`repro.arch.config.GPUConfig.mrf_bank_occupancy`).  Slow banks
+  therefore throttle aggregate operand bandwidth -- this is why BL's
+  IPC collapses on 6.3x-latency register files even when individual
+  access latencies could be overlapped.
+
+Each bank keeps a *busy-interval calendar* rather than a single
+next-free cursor, because accesses arrive out of time order (a load's
+result write is scheduled hundreds of cycles in the future when the
+load issues).  A future reservation must not block earlier accesses
+that fit in the gap before it.
+
+Registers interleave across banks by ``(warp_id + register) % banks``,
+the standard GPU layout that spreads one warp's operands over banks.
+Access counts feed the energy model (:mod:`repro.power.energy`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass
+from typing import List
+
+from repro.arch.config import GPUConfig
+
+
+@dataclass
+class MRFStats:
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+
+class BankCalendar:
+    """Busy intervals of one bank, supporting out-of-order reservation."""
+
+    def __init__(self) -> None:
+        self._intervals: List[List[int]] = []    # sorted [start, end) pairs
+
+    def reserve(self, cycle: int, duration: int) -> int:
+        """Reserve ``duration`` busy cycles at the earliest time >= ``cycle``.
+
+        Returns the start cycle of the reservation.  Adjacent intervals
+        are merged to keep the calendar compact.
+        """
+        intervals = self._intervals
+        index = bisect_right(intervals, [cycle + 1]) - 1
+        start = cycle
+        if index >= 0 and intervals[index][1] > start:
+            start = intervals[index][1]
+        probe = index + 1
+        while probe < len(intervals) and intervals[probe][0] < start + duration:
+            start = max(start, intervals[probe][1])
+            probe += 1
+        self._insert(start, start + duration)
+        return start
+
+    def _insert(self, start: int, end: int) -> None:
+        intervals = self._intervals
+        insort(intervals, [start, end])
+        index = bisect_right(intervals, [start, end]) - 1
+        # Merge with the predecessor and any absorbed successors.
+        if index > 0 and intervals[index - 1][1] >= intervals[index][0]:
+            intervals[index - 1][1] = max(
+                intervals[index - 1][1], intervals[index][1]
+            )
+            del intervals[index]
+            index -= 1
+        while (
+            index + 1 < len(intervals)
+            and intervals[index][1] >= intervals[index + 1][0]
+        ):
+            intervals[index][1] = max(
+                intervals[index][1], intervals[index + 1][1]
+            )
+            del intervals[index + 1]
+
+
+class MainRegisterFile:
+    """Bank-conflict-aware MRF timing model."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        self._banks: List[BankCalendar] = [
+            BankCalendar() for _ in range(config.mrf_banks)
+        ]
+        self.stats = MRFStats()
+
+    def bank_of(self, warp_id: int, register: int) -> int:
+        return (warp_id + register) % self.config.mrf_banks
+
+    def _service(self, bank: int, cycle: int,
+                 include_transfer: bool = True) -> int:
+        """Occupy ``bank`` from ``cycle``; return data-available cycle.
+
+        ``include_transfer=False`` is used by bulk transfers, which pay
+        the crossbar traversal once for the whole streamed group rather
+        than once per register.
+        """
+        start = self._banks[bank].reserve(
+            cycle, self.config.mrf_bank_occupancy
+        )
+        done = start + self.config.mrf_bank_latency
+        if include_transfer:
+            done += self.config.mrf_transfer_latency
+        return done
+
+    def read(self, warp_id: int, register: int, cycle: int) -> int:
+        """Read one warp-register; returns the cycle the value arrives."""
+        self.stats.reads += 1
+        return self._service(self.bank_of(warp_id, register), cycle)
+
+    def write(self, warp_id: int, register: int, cycle: int) -> int:
+        """Write one warp-register; returns the cycle the bank settles."""
+        self.stats.writes += 1
+        return self._service(self.bank_of(warp_id, register), cycle)
+
+    def bulk_read(self, warp_id: int, registers, cycle: int) -> int:
+        """Read a register group (PREFETCH); returns completion cycle.
+
+        Banks serve their shares subject to prior reservations; the
+        crossbar then streams registers out at
+        ``crossbar_regs_per_cycle``.  The completion cycle is when the
+        last register lands in the RFC.
+        """
+        registers = list(registers)
+        if not registers:
+            return cycle
+        last_bank_done = cycle
+        for register in registers:
+            self.stats.reads += 1
+            done = self._service(
+                self.bank_of(warp_id, register), cycle, include_transfer=False
+            )
+            last_bank_done = max(last_bank_done, done)
+        transfer = self.config.mrf_transfer_latency + -(
+            -len(registers) // self.config.crossbar_regs_per_cycle
+        )
+        return last_bank_done + transfer
+
+    def bulk_write(self, warp_id: int, registers, cycle: int) -> int:
+        """Write a register group (write-back); returns completion cycle."""
+        registers = list(registers)
+        done = cycle
+        for register in registers:
+            done = max(done, self.write(warp_id, register, cycle))
+        return done

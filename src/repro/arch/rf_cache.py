@@ -1,0 +1,123 @@
+"""The register file cache (RFC): partitioned, per-active-warp storage.
+
+Section 4.1: the RFC has ``regs_per_interval`` banks, each hosting one
+register per active warp; a warp's registers interleave across banks so
+each bank holds at most one register of any warp.  Partitioning means
+active warps never evict each other -- the property that distinguishes
+LTRF's cache from a conventional shared register cache.
+
+This module provides:
+
+* :class:`RegisterFileCache` -- partition lifecycle (acquire/release via
+  a global warp-offset Address Allocation Unit), per-partition bank-slot
+  allocation, 1-cycle access timing, and access counting;
+* the per-access bookkeeping (`insert`, `evict`, `read`, `write`)
+  policies use to keep WCB state coherent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.arch.address_alloc import AddressAllocationUnit, AllocationError
+from repro.arch.config import GPUConfig
+from repro.arch.wcb import WarpControlBlock
+
+
+@dataclass
+class RFCStats:
+    reads: int = 0
+    writes: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    fills: int = 0                    # registers loaded from the MRF
+    writebacks: int = 0               # registers written back to the MRF
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def read_hit_rate(self) -> float:
+        total = self.read_hits + self.read_misses
+        return self.read_hits / total if total else 0.0
+
+
+class RegisterFileCache:
+    """Partitioned RFC with per-warp bank-slot allocation."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        self.stats = RFCStats()
+        self._warp_offsets = AddressAllocationUnit(config.active_warps)
+        self._partitions: Dict[int, AddressAllocationUnit] = {}
+
+    # -- partition lifecycle --------------------------------------------------
+
+    def acquire_partition(self, wcb: WarpControlBlock) -> None:
+        """Give ``wcb``'s warp a dedicated RFC partition (activation)."""
+        if wcb.warp_offset is not None:
+            raise AllocationError(
+                f"warp {wcb.warp_id} already holds a partition"
+            )
+        wcb.warp_offset = self._warp_offsets.allocate()
+        self._partitions[wcb.warp_offset] = AddressAllocationUnit(
+            self.config.regs_per_interval
+        )
+
+    def release_partition(self, wcb: WarpControlBlock) -> None:
+        """Reclaim the warp's partition (deactivation, Section 4.2)."""
+        if wcb.warp_offset is None:
+            raise AllocationError(f"warp {wcb.warp_id} holds no partition")
+        del self._partitions[wcb.warp_offset]
+        self._warp_offsets.release(wcb.warp_offset)
+        wcb.reset_partition()
+
+    def partition_free_slots(self, wcb: WarpControlBlock) -> int:
+        return self._partition(wcb).free_slots
+
+    def _partition(self, wcb: WarpControlBlock) -> AddressAllocationUnit:
+        if wcb.warp_offset is None:
+            raise AllocationError(f"warp {wcb.warp_id} holds no partition")
+        return self._partitions[wcb.warp_offset]
+
+    # -- contents ---------------------------------------------------------------
+
+    def allocate_register(self, wcb: WarpControlBlock, register: int) -> int:
+        """Assign an RFC bank slot to ``register`` in the warp's partition."""
+        if register in wcb.address_table:
+            return wcb.address_table[register]
+        slot = self._partition(wcb).allocate()
+        wcb.address_table[register] = slot
+        return slot
+
+    def evict_register(self, wcb: WarpControlBlock, register: int) -> None:
+        """Remove ``register`` from the partition, freeing its slot."""
+        slot = wcb.address_table.pop(register)
+        self._partition(wcb).release(slot)
+        wcb.valid.discard(register)
+        wcb.dirty.discard(register)
+
+    # -- timed accesses -----------------------------------------------------------
+
+    def read(self, wcb: WarpControlBlock, register: int, cycle: int) -> int:
+        """Read a cached register; returns data-ready cycle."""
+        self.stats.reads += 1
+        return cycle + self.config.rfc_latency
+
+    def write(self, wcb: WarpControlBlock, register: int, cycle: int) -> int:
+        """Write a register into its allocated slot; marks it dirty."""
+        self.stats.writes += 1
+        wcb.valid.add(register)
+        wcb.dirty.add(register)
+        return cycle + self.config.rfc_latency
+
+    def fill(self, wcb: WarpControlBlock, register: int) -> None:
+        """Install a clean copy fetched from the MRF (prefetch/reload)."""
+        self.stats.fills += 1
+        wcb.valid.add(register)
+        wcb.dirty.discard(register)
+
+    def note_writeback(self, count: int = 1) -> None:
+        self.stats.writebacks += count

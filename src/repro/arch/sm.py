@@ -1,0 +1,283 @@
+"""The streaming multiprocessor: the simulator's main loop.
+
+A single-issue SM with a two-level warp scheduler (Section 3.2, after
+Narasiman et al. and Gebhart et al.):
+
+* up to ``config.active_warps`` warps are *active* and arbitrated
+  round-robin; the remaining resident warps wait inactive;
+* a warp that issues a global load that misses in the L1 is deactivated;
+  its result returns to the main register file while it waits;
+* when an active slot frees, the inactive warp whose blocking event
+  resolved earliest is activated; the register policy may charge an
+  activation latency (LTRF refetches the warp's register working set,
+  overlapping the refetch with other warps' execution).
+
+The register policy (:mod:`repro.policies`) decides where operands live
+and what every access costs; the SM owns instruction issue, hazards,
+scheduling, and the memory hierarchy.
+
+Timing model: one issue slot per cycle.  When no warp can issue, the
+clock jumps to the next event, so fully-stalled phases cost the right
+number of cycles without per-cycle Python overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.arch.config import GPUConfig
+from repro.arch.main_register_file import MainRegisterFile
+from repro.arch.memory import MemoryHierarchy
+from repro.arch.rf_cache import RegisterFileCache
+from repro.arch.warp import Warp, WarpState
+from repro.ir.instruction import Opcode
+from repro.ir.kernel import Kernel
+
+#: Safety valve: simulations beyond this many cycles indicate livelock.
+MAX_CYCLES = 50_000_000
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of simulating one kernel on one SM."""
+
+    kernel: str
+    policy: str
+    config: GPUConfig
+    cycles: int
+    instructions: int
+    prefetch_operations: int
+    resident_warps: int
+    activations: int
+    deactivations: int
+    mrf_reads: int
+    mrf_writes: int
+    rfc_reads: int
+    rfc_writes: int
+    rfc_read_hits: int
+    rfc_read_misses: int
+    rfc_fills: int
+    rfc_writebacks: int
+    l1_hit_rate: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def rfc_hit_rate(self) -> float:
+        total = self.rfc_read_hits + self.rfc_read_misses
+        return self.rfc_read_hits / total if total else 0.0
+
+    @property
+    def mrf_accesses(self) -> int:
+        return self.mrf_reads + self.mrf_writes
+
+    @property
+    def rfc_accesses(self) -> int:
+        return self.rfc_reads + self.rfc_writes
+
+
+class StreamingMultiprocessor:
+    """Drives warps through a kernel under a register policy."""
+
+    def __init__(self, config: GPUConfig, policy_factory) -> None:
+        """``policy_factory(config, mrf, rfc)`` builds the register policy."""
+        self.config = config
+        mrf_config = config
+        if getattr(policy_factory, "forces_baseline_latency", False):
+            mrf_config = config.with_latency_multiple(1.0)
+        if getattr(policy_factory, "uses_narrow_crossbar", False):
+            # LTRF narrows the MRF crossbar by 4x (Section 4.2): a
+            # design choice of the prefetching architecture, so it
+            # travels with the policy rather than the configuration.
+            mrf_config = mrf_config.scaled(narrow_crossbar=True)
+        self.mrf = MainRegisterFile(mrf_config)
+        self.rfc = RegisterFileCache(config)
+        self.memory = MemoryHierarchy(config.memory)
+        self.policy = policy_factory(config, self.mrf, self.rfc)
+        self.activations = 0
+        self.deactivations = 0
+
+    # -- top level ----------------------------------------------------------
+
+    def run(self, kernel: Kernel, seed: int = 0,
+            resident_warps: Optional[int] = None) -> SimulationResult:
+        """Simulate ``kernel`` to completion and return the result.
+
+        ``resident_warps`` defaults to what the register file capacity
+        admits for this kernel's register demand (the TLP model).
+        Policies that require compiled kernels receive the kernel via
+        their factory; the SM only sees the executable trace.
+        """
+        executable = self.policy.executable_kernel(kernel)
+        if resident_warps is None:
+            resident_warps = self.config.resident_warps_for(
+                kernel.register_count
+            )
+        self.policy.prepare(resident_warps)
+        warps = [
+            Warp(w, executable.trace_list(warp_id=w, seed=seed))
+            for w in range(resident_warps)
+        ]
+        cycles = self._simulate(warps)
+        instructions = sum(w.instructions_issued for w in warps)
+        prefetches = sum(w.prefetches_issued for w in warps)
+        return SimulationResult(
+            kernel=kernel.name,
+            policy=self.policy.name,
+            config=self.config,
+            cycles=cycles,
+            instructions=instructions,
+            prefetch_operations=prefetches,
+            resident_warps=resident_warps,
+            activations=self.activations,
+            deactivations=self.deactivations,
+            mrf_reads=self.mrf.stats.reads,
+            mrf_writes=self.mrf.stats.writes,
+            rfc_reads=self.rfc.stats.reads,
+            rfc_writes=self.rfc.stats.writes,
+            rfc_read_hits=self.rfc.stats.read_hits,
+            rfc_read_misses=self.rfc.stats.read_misses,
+            rfc_fills=self.rfc.stats.fills,
+            rfc_writebacks=self.rfc.stats.writebacks,
+            l1_hit_rate=self.memory.stats.l1_hit_rate,
+            extra=self.policy.extra_stats(),
+        )
+
+    # -- scheduling core -------------------------------------------------------
+
+    def _simulate(self, warps: List[Warp]) -> int:
+        active: List[Warp] = []
+        inactive: List[Warp] = list(warps)
+        cycle = 0
+        rr_next = 0
+
+        issue_width = self.config.issue_width
+        while True:
+            # Fill free active slots with resumable inactive warps.
+            self._activate_ready(active, inactive, cycle)
+
+            issuable = [
+                w for w in active
+                if w.earliest_issue() <= cycle
+            ]
+            if issuable:
+                # Up to issue_width schedulers each issue from a
+                # distinct warp this cycle, round-robin for fairness.
+                for _ in range(min(issue_width, len(issuable))):
+                    if not issuable:
+                        break
+                    warp = self._round_robin(issuable, rr_next)
+                    rr_next = warp.warp_id + 1
+                    issuable.remove(warp)
+                    self._issue(warp, cycle, active, inactive)
+                cycle += 1
+            else:
+                if not active and not inactive:
+                    break
+                next_cycle = self._next_event(active, inactive, cycle)
+                if next_cycle is None:
+                    break
+                cycle = next_cycle
+            if cycle > MAX_CYCLES:
+                raise RuntimeError("simulation exceeded MAX_CYCLES")
+        return cycle
+
+    def _activate_ready(self, active: List[Warp],
+                        inactive: List[Warp], cycle: int) -> None:
+        while len(active) < self.config.active_warps:
+            candidates = [w for w in inactive if w.resume_at <= cycle]
+            if not candidates:
+                return
+            warp = min(candidates, key=lambda w: (w.resume_at, w.warp_id))
+            inactive.remove(warp)
+            latency = self.policy.activate(warp, cycle)
+            warp.state = WarpState.ACTIVE
+            warp.next_ready = cycle + latency
+            active.append(warp)
+            self.activations += 1
+
+    @staticmethod
+    def _round_robin(issuable: List[Warp], rr_next: int) -> Warp:
+        following = [w for w in issuable if w.warp_id >= rr_next]
+        pool = following or issuable
+        return min(pool, key=lambda w: w.warp_id)
+
+    def _next_event(self, active: List[Warp],
+                    inactive: List[Warp], cycle: int) -> Optional[int]:
+        events = [w.earliest_issue() for w in active]
+        if len(active) < self.config.active_warps:
+            events.extend(w.resume_at for w in inactive)
+        if not events:
+            return None
+        return max(cycle + 1, min(events))
+
+    # -- instruction issue --------------------------------------------------------
+
+    def _issue(self, warp: Warp, cycle: int,
+               active: List[Warp], inactive: List[Warp]) -> None:
+        entry = warp.current
+        instruction = entry.instruction
+
+        if instruction.opcode is Opcode.PREFETCH:
+            completion = self.policy.prefetch(warp, instruction, cycle)
+            warp.next_ready = completion
+            warp.prefetches_issued += 1
+            warp.advance()
+            self._retire_if_done(warp, cycle, active)
+            return
+
+        operand_latency = self.policy.operand_read_latency(
+            warp, instruction, cycle
+        )
+        # Fixed operand-collection stages absorb the baseline read
+        # latency; only the excess extends the dependency chain.
+        start = cycle + max(
+            0, operand_latency - self.config.operand_pipeline_depth
+        )
+        deactivate = False
+
+        if instruction.is_long_latency:
+            access = self.memory.access(entry.address, start)
+            complete = access.ready_cycle
+            # Loads that miss the L1 deactivate the warp (two-level
+            # scheduler); stores are fire-and-forget.
+            if instruction.dsts and not access.is_l1_hit:
+                deactivate = True
+        elif instruction.is_memory:
+            complete = start + instruction.execution_latency
+        else:
+            complete = start + instruction.execution_latency
+
+        for dst in instruction.dsts:
+            warp.note_write(dst, complete)
+        self.policy.result_write(
+            warp, instruction, complete, to_mrf=deactivate
+        )
+        warp.instructions_issued += 1
+        warp.advance()
+
+        if self._retire_if_done(warp, cycle, active):
+            return
+        if deactivate:
+            self.policy.deactivate(warp, cycle)
+            warp.state = WarpState.INACTIVE
+            warp.resume_at = complete
+            active.remove(warp)
+            inactive.append(warp)
+            self.deactivations += 1
+        else:
+            warp.next_ready = cycle + 1
+
+    def _retire_if_done(self, warp: Warp, cycle: int,
+                        active: List[Warp]) -> bool:
+        if not warp.done:
+            return False
+        self.policy.finish(warp, cycle)
+        warp.state = WarpState.FINISHED
+        if warp in active:
+            active.remove(warp)
+        return True

@@ -1,0 +1,93 @@
+"""Per-warp execution state.
+
+A warp executes its dynamic trace in order.  The SM advances warps
+through three states:
+
+* ``ACTIVE`` -- in the active pool, eligible to issue;
+* ``INACTIVE`` -- descheduled by the two-level scheduler (after a long-
+  latency miss) or not yet admitted to the active pool;
+* ``FINISHED`` -- trace exhausted.
+
+The warp carries an in-order scoreboard (register -> ready cycle) for
+data hazards and its :class:`~repro.arch.wcb.WarpControlBlock` for the
+register-caching policies.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.arch.wcb import WarpControlBlock
+from repro.ir.kernel import TraceEntry
+
+
+class WarpState(enum.Enum):
+    ACTIVE = "active"
+    INACTIVE = "inactive"
+    FINISHED = "finished"
+
+
+class Warp:
+    """One warp's dynamic execution state."""
+
+    def __init__(self, warp_id: int, trace: List[TraceEntry]) -> None:
+        self.warp_id = warp_id
+        self.trace = trace
+        self.position = 0
+        self.state = WarpState.INACTIVE
+        #: Earliest cycle this warp may issue its next instruction.
+        self.next_ready = 0
+        #: For INACTIVE warps: cycle its blocking event resolves.
+        self.resume_at = 0
+        self.wcb = WarpControlBlock(warp_id)
+        self.scoreboard: Dict[int, int] = {}
+        self.instructions_issued = 0
+        self.prefetches_issued = 0
+
+    # -- trace cursor -------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[TraceEntry]:
+        if self.position < len(self.trace):
+            return self.trace[self.position]
+        return None
+
+    @property
+    def done(self) -> bool:
+        return self.position >= len(self.trace)
+
+    def advance(self) -> None:
+        self.position += 1
+
+    # -- hazards ---------------------------------------------------------------
+
+    def dependencies_ready_at(self) -> int:
+        """Cycle at which the current instruction's registers are hazard-free.
+
+        Reads wait for pending writers (RAW); writes wait for pending
+        writers of the same register (WAW) -- sufficient for an in-order
+        pipeline with out-of-order completion.
+        """
+        entry = self.current
+        if entry is None:
+            return self.next_ready
+        ready = 0
+        scoreboard = self.scoreboard
+        for reg in entry.instruction.srcs:
+            ready = max(ready, scoreboard.get(reg, 0))
+        for reg in entry.instruction.dsts:
+            ready = max(ready, scoreboard.get(reg, 0))
+        return ready
+
+    def earliest_issue(self) -> int:
+        return max(self.next_ready, self.dependencies_ready_at())
+
+    def note_write(self, register: int, ready_cycle: int) -> None:
+        self.scoreboard[register] = ready_cycle
+
+    def __repr__(self) -> str:
+        return (
+            f"Warp({self.warp_id}, {self.state.value}, "
+            f"pc={self.position}/{len(self.trace)})"
+        )

@@ -1,0 +1,173 @@
+"""Command-line interface to the reproduction.
+
+Usage (after ``pip install -e .``):
+
+    python -m repro.cli list-workloads
+    python -m repro.cli simulate backprop --policy LTRF --config 6
+    python -m repro.cli compile backprop --regions strand
+    python -m repro.cli experiment fig9a fig10 table4
+    python -m repro.cli sweep backprop --policies BL,LTRF,LTRF+
+
+Every subcommand prints plain text; experiment names mirror the paper's
+tables and figures (see DESIGN.md's experiment index).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.arch import GPUConfig, StreamingMultiprocessor
+from repro.compiler import compile_kernel
+from repro.experiments import (
+    Runner,
+    fig2, fig3, fig4, fig9, fig10, fig11, fig12, fig13, fig14,
+    max_tolerable_latency, normalized_sweep, overheads,
+    table1, table2, table2_config, table4,
+)
+from repro.policies import POLICIES, policy_by_name
+from repro.workloads import SUITE, get_kernel, workload_names
+
+#: Experiment registry: name -> callable(runner) -> ExperimentResult.
+EXPERIMENTS = {
+    "table1": lambda runner: table1(),
+    "fig2": lambda runner: fig2(),
+    "table2": lambda runner: table2(),
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig9a": lambda runner: fig9(runner, 6),
+    "fig9b": lambda runner: fig9(runner, 7),
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "table4": lambda runner: table4(),
+    "overheads": overheads,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="LTRF (ASPLOS 2018) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="list the 35-workload suite")
+    sub.add_parser("list-policies", help="list register-file policies")
+    sub.add_parser(
+        "list-experiments", help="list reproducible tables/figures"
+    )
+
+    simulate = sub.add_parser("simulate", help="run one simulation")
+    simulate.add_argument("workload", choices=sorted(SUITE))
+    simulate.add_argument("--policy", default="LTRF",
+                          choices=sorted(POLICIES))
+    simulate.add_argument("--config", type=int, default=1,
+                          help="Table 2 design point (1-7)")
+    simulate.add_argument("--latency", type=float, default=None,
+                          help="override the MRF latency multiple")
+
+    compile_cmd = sub.add_parser("compile", help="show prefetch regions")
+    compile_cmd.add_argument("workload", choices=sorted(SUITE))
+    compile_cmd.add_argument("--regions", default="register-interval",
+                             choices=("register-interval", "strand"))
+    compile_cmd.add_argument("--max-registers", type=int, default=16)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate paper tables/figures")
+    experiment.add_argument("names", nargs="+",
+                            choices=sorted(EXPERIMENTS) + ["all"])
+
+    sweep = sub.add_parser("sweep", help="latency-tolerance sweep")
+    sweep.add_argument("workload", choices=sorted(SUITE))
+    sweep.add_argument("--policies", default="BL,RFC,LTRF,LTRF+",
+                       help="comma-separated policy names")
+    return parser
+
+
+def _cmd_simulate(args) -> None:
+    config = table2_config(args.config) if args.config != 1 else GPUConfig()
+    if args.latency is not None:
+        config = config.with_latency_multiple(args.latency)
+    kernel = get_kernel(args.workload)
+    sm = StreamingMultiprocessor(config, policy_by_name(args.policy))
+    result = sm.run(kernel)
+    print(f"workload           {args.workload}")
+    print(f"policy             {args.policy}")
+    print(f"config             #{args.config} "
+          f"({config.mrf_size_kb}KB, {config.mrf_latency_multiple}x)")
+    print(f"resident warps     {result.resident_warps}")
+    print(f"cycles             {result.cycles}")
+    print(f"instructions       {result.instructions}")
+    print(f"IPC                {result.ipc:.3f}")
+    print(f"MRF accesses       {result.mrf_accesses}")
+    print(f"RFC hit rate       {result.rfc_hit_rate:.2f}")
+    print(f"L1 hit rate        {result.l1_hit_rate:.2f}")
+    print(f"(de)activations    {result.activations}/{result.deactivations}")
+
+
+def _cmd_compile(args) -> None:
+    kernel = get_kernel(args.workload)
+    compiled = compile_kernel(
+        kernel, region_kind=args.regions, max_registers=args.max_registers
+    )
+    print(f"{args.workload}: {compiled.partition.region_count()} "
+          f"{args.regions} region(s), "
+          f"{compiled.prefetch_count} PREFETCH operation(s)")
+    print(f"code size: +{compiled.code_size.embedded_bit_overhead:.1%} "
+          f"(embedded bit) / "
+          f"+{compiled.code_size.explicit_instruction_overhead:.1%} "
+          f"(explicit instruction)")
+    for region in compiled.partition.regions:
+        regs = ",".join(f"r{r}" for r in sorted(region.registers))
+        print(f"  region {region.id:3d} header={region.header:16s} "
+              f"|WS|={region.working_set_size:2d} {{{regs}}}")
+
+
+def _cmd_experiment(names: List[str]) -> None:
+    runner = Runner()
+    selected = sorted(EXPERIMENTS) if "all" in names else names
+    for name in selected:
+        result = EXPERIMENTS[name](runner)
+        print(result.render())
+        print()
+
+
+def _cmd_sweep(args) -> None:
+    runner = Runner()
+    for policy in args.policies.split(","):
+        policy = policy.strip()
+        sweep = normalized_sweep(runner, policy, args.workload)
+        tolerable = max_tolerable_latency(sweep)
+        curve = "  ".join(f"{value:.2f}" for value in sweep)
+        print(f"{policy:12s} {curve}  -> tolerates {tolerable:.1f}x")
+
+
+def main(argv: List[str] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-workloads":
+        for name in workload_names():
+            spec = SUITE[name]
+            print(f"{name:16s} {spec.category:22s} "
+                  f"regs={spec.registers:3d} (fermi {spec.registers_fermi})")
+    elif args.command == "list-policies":
+        for name in sorted(POLICIES):
+            print(name)
+    elif args.command == "list-experiments":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+    elif args.command == "simulate":
+        _cmd_simulate(args)
+    elif args.command == "compile":
+        _cmd_compile(args)
+    elif args.command == "experiment":
+        _cmd_experiment(args.names)
+    elif args.command == "sweep":
+        _cmd_sweep(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

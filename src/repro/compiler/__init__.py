@@ -1,0 +1,53 @@
+"""Compiler support: the software half of LTRF.
+
+Region formers (register-intervals, strands), classic interval analysis,
+PREFETCH insertion, the compile pipeline, and compiler-output analyses.
+"""
+
+from repro.compiler.analysis import (
+    LengthStats,
+    optimal_region_lengths,
+    real_region_lengths,
+    region_length_comparison,
+)
+from repro.compiler.intervals import (
+    derived_edges,
+    interval_partition,
+    is_reducible_by_intervals,
+)
+from repro.compiler.pipeline import REGION_KINDS, CompiledKernel, compile_kernel
+from repro.compiler.prefetch import (
+    BITVECTOR_BYTES,
+    INSTRUCTION_BYTES,
+    CodeSizeReport,
+    insert_prefetches,
+)
+from repro.compiler.regions import Region, RegionError, RegionPartition
+from repro.compiler.register_intervals import (
+    DEFAULT_MAX_REGISTERS,
+    form_register_intervals,
+)
+from repro.compiler.strands import form_strands
+
+__all__ = [
+    "BITVECTOR_BYTES",
+    "CodeSizeReport",
+    "CompiledKernel",
+    "DEFAULT_MAX_REGISTERS",
+    "INSTRUCTION_BYTES",
+    "LengthStats",
+    "REGION_KINDS",
+    "Region",
+    "RegionError",
+    "RegionPartition",
+    "compile_kernel",
+    "derived_edges",
+    "form_register_intervals",
+    "form_strands",
+    "insert_prefetches",
+    "interval_partition",
+    "is_reducible_by_intervals",
+    "optimal_region_lengths",
+    "real_region_lengths",
+    "region_length_comparison",
+]

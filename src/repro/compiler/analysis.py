@@ -1,0 +1,111 @@
+"""Analyses of compiled kernels: dynamic region lengths (Table 4).
+
+The paper evaluates its compiler with two metrics (Section 6.5):
+
+* **real register-interval length** -- the number of dynamic instructions
+  executed between consecutive region-boundary crossings;
+* **optimal register-interval length** -- the longest runs of consecutive
+  dynamic instructions whose aggregate register set fits in N, computed
+  directly on the trace with no control-flow constraints (a greedy scan,
+  which is optimal for this maximisation because extending a run never
+  hurts: it exposes what the single-entry constraint costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.ir.instruction import Opcode
+from repro.ir.kernel import TraceEntry
+from repro.compiler.pipeline import CompiledKernel
+
+
+@dataclass(frozen=True)
+class LengthStats:
+    """Summary statistics over a set of dynamic region lengths."""
+
+    average: float
+    minimum: int
+    maximum: int
+    count: int
+
+    @staticmethod
+    def from_lengths(lengths: Sequence[int]) -> "LengthStats":
+        if not lengths:
+            return LengthStats(0.0, 0, 0, 0)
+        return LengthStats(
+            average=sum(lengths) / len(lengths),
+            minimum=min(lengths),
+            maximum=max(lengths),
+            count=len(lengths),
+        )
+
+
+def real_region_lengths(
+    compiled: CompiledKernel, warp_id: int = 0, seed: int = 0
+) -> List[int]:
+    """Dynamic instruction counts between region-boundary crossings.
+
+    PREFETCH pseudo-instructions do not count toward length.  A loop
+    iterating inside one region does not end a dynamic region: the
+    boundary is a *change* of region id, matching the hardware's
+    movement-free re-execution of an already-satisfied PREFETCH.
+    """
+    partition = compiled.partition
+    lengths: List[int] = []
+    current_region = None
+    current_length = 0
+    for entry in compiled.kernel.trace(warp_id=warp_id, seed=seed):
+        region = partition.block_to_region[entry.block]
+        if current_region is None:
+            current_region = region
+        elif region != current_region:
+            lengths.append(current_length)
+            current_region = region
+            current_length = 0
+        if entry.instruction.opcode is not Opcode.PREFETCH:
+            current_length += 1
+    if current_length:
+        lengths.append(current_length)
+    return lengths
+
+
+def optimal_region_lengths(
+    trace: Iterable[TraceEntry], max_registers: int
+) -> List[int]:
+    """Greedy longest runs of dynamic instructions fitting N registers.
+
+    This is the paper's *optimal register-interval length*: consecutive
+    dynamic instructions in the execution trace that consume at most the
+    allowed number of registers, ignoring all control-flow constraints.
+    """
+    lengths: List[int] = []
+    registers: set = set()
+    length = 0
+    for entry in trace:
+        if entry.instruction.opcode is Opcode.PREFETCH:
+            continue
+        needed = entry.instruction.registers()
+        if len(registers | needed) > max_registers and length > 0:
+            lengths.append(length)
+            registers = set()
+            length = 0
+        registers |= needed
+        length += 1
+    if length:
+        lengths.append(length)
+    return lengths
+
+
+def region_length_comparison(
+    compiled: CompiledKernel, warp_id: int = 0, seed: int = 0
+) -> dict:
+    """Real vs optimal dynamic region lengths for one compiled kernel."""
+    real = real_region_lengths(compiled, warp_id=warp_id, seed=seed)
+    trace = compiled.source.trace(warp_id=warp_id, seed=seed)
+    optimal = optimal_region_lengths(trace, compiled.max_registers)
+    return {
+        "real": LengthStats.from_lengths(real),
+        "optimal": LengthStats.from_lengths(optimal),
+    }

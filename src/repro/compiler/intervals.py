@@ -1,0 +1,169 @@
+"""Classic interval analysis (Hecht).
+
+The original interval concept the paper builds on (Section 3.3, citing
+Hecht's *Flow Analysis of Computer Programs*): an interval I(h) with
+header h is the maximal single-entry subgraph grown by repeatedly adding
+any node whose predecessors all already belong to I(h).  The partition of
+the CFG into intervals, applied repeatedly to the derived interval graph,
+collapses a reducible CFG to a single node.
+
+The register-interval former (:mod:`repro.compiler.register_intervals`)
+is a constrained variant of this algorithm; this module provides the
+unconstrained classic version, used directly for reducibility analysis
+and as a cross-check oracle in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple  # noqa: F401 (Tuple used in annotations)
+
+from repro.ir.cfg import CFG
+from repro.compiler.regions import Region, RegionPartition
+
+
+def interval_partition(cfg: CFG) -> RegionPartition:
+    """Partition ``cfg`` into maximal classic intervals.
+
+    Follows the textbook worklist algorithm: start an interval at the
+    entry; grow while some unassigned node has all predecessors inside;
+    every remaining successor of a finished interval seeds a new one.
+    """
+    preds = cfg.predecessors_map()
+    assignment: Dict[str, int] = {}
+    members: List[List[str]] = []
+    worklist: List[str] = [cfg.entry]
+    seeded = {cfg.entry}
+
+    while worklist:
+        header = worklist.pop(0)
+        if header in assignment:
+            continue               # absorbed into an earlier interval
+        interval_id = len(members)
+        members.append([header])
+        assignment[header] = interval_id
+
+        grew = True
+        while grew:
+            grew = False
+            for label in cfg.labels():
+                if label in assignment:
+                    continue
+                pred_list = preds[label]
+                if pred_list and all(
+                    assignment.get(p) == interval_id for p in pred_list
+                ):
+                    assignment[label] = interval_id
+                    members[interval_id].append(label)
+                    seeded.discard(label)
+                    grew = True
+
+        for label in members[interval_id]:
+            for succ in cfg.successors(label):
+                if succ not in assignment and succ not in seeded:
+                    seeded.add(succ)
+                    worklist.append(succ)
+
+    regions = []
+    for interval_id, labels in enumerate(members):
+        registers: set = set()
+        for label in labels:
+            registers |= cfg.block(label).registers()
+        regions.append(Region(
+            id=interval_id,
+            header=labels[0],
+            blocks=frozenset(labels),
+            registers=frozenset(registers),
+        ))
+    partition = RegionPartition(
+        kind="interval",
+        regions=regions,
+        block_to_region=dict(assignment),
+        max_registers=None,
+    )
+    partition.validate(cfg)
+    return partition
+
+
+def derived_edges(
+    cfg: CFG, partition: RegionPartition
+) -> FrozenSet[Tuple[int, int]]:
+    """Edges of the derived (interval) graph: region-to-region edges."""
+    edges = set()
+    for label in cfg.labels():
+        for succ in cfg.successors(label):
+            a = partition.block_to_region[label]
+            b = partition.block_to_region[succ]
+            if a != b:
+                edges.add((a, b))
+    return frozenset(edges)
+
+
+def is_reducible_by_intervals(cfg: CFG, max_levels: int = 64) -> bool:
+    """Reducibility via repeated interval derivation.
+
+    A CFG is reducible iff the sequence of derived graphs reaches a
+    single node.  This is independent of (and cross-checked in tests
+    against) :meth:`repro.ir.cfg.CFG.is_reducible`, which uses T1/T2.
+    """
+    # Work on an abstract graph: nodes + edges + entry.
+    nodes = set(range(len(interval_partition(cfg).regions)))
+    partition = interval_partition(cfg)
+    edges = set(derived_edges(cfg, partition))
+    entry = partition.block_to_region[cfg.entry]
+
+    for _ in range(max_levels):
+        if len(nodes) <= 1:
+            return True
+        new_nodes, new_edges, new_entry = _derive_once(nodes, edges, entry)
+        if len(new_nodes) == len(nodes):
+            return False       # limit graph reached without collapsing
+        nodes, edges, entry = new_nodes, new_edges, new_entry
+    return len(nodes) <= 1
+
+
+def _derive_once(nodes, edges, entry):
+    """One interval-derivation step on an abstract directed graph."""
+    preds: Dict[int, set] = {n: set() for n in nodes}
+    succs: Dict[int, set] = {n: set() for n in nodes}
+    for a, b in edges:
+        succs[a].add(b)
+        preds[b].add(a)
+
+    assignment: Dict[int, int] = {}
+    headers: List[int] = []
+    worklist = [entry]
+    seeded = {entry}
+    while worklist:
+        header = worklist.pop(0)
+        if header in assignment:
+            continue               # absorbed into an earlier interval
+        interval_id = len(headers)
+        headers.append(header)
+        assignment[header] = interval_id
+        grew = True
+        while grew:
+            grew = False
+            for node in nodes:
+                if node in assignment:
+                    continue
+                if preds[node] and all(
+                    assignment.get(p) == interval_id for p in preds[node]
+                ):
+                    assignment[node] = interval_id
+                    seeded.discard(node)
+                    grew = True
+        for node, interval in assignment.items():
+            if interval != interval_id:
+                continue
+            for succ in succs[node]:
+                if succ not in assignment and succ not in seeded:
+                    seeded.add(succ)
+                    worklist.append(succ)
+
+    new_nodes = set(range(len(headers)))
+    new_edges = set()
+    for a, b in edges:
+        ia, ib = assignment[a], assignment[b]
+        if ia != ib:
+            new_edges.add((ia, ib))
+    return new_nodes, new_edges, assignment[entry]

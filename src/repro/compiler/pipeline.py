@@ -1,0 +1,85 @@
+"""The compile pipeline: kernel -> region-annotated executable kernel.
+
+``compile_kernel`` is the single entry point the policies and experiment
+harness use.  It clones the input kernel (passes mutate CFGs), runs
+static liveness (dead-operand bits for LTRF+), forms prefetch regions
+with the requested former, and inserts PREFETCH operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.kernel import Kernel
+from repro.ir.liveness import LivenessInfo, annotate_dead_operands
+from repro.compiler.prefetch import CodeSizeReport, insert_prefetches
+from repro.compiler.regions import RegionPartition
+from repro.compiler.register_intervals import (
+    DEFAULT_MAX_REGISTERS,
+    form_register_intervals,
+)
+from repro.compiler.strands import form_strands
+
+#: Region formers selectable by name.
+REGION_KINDS = ("register-interval", "strand")
+
+
+@dataclass
+class CompiledKernel:
+    """Output of the compile pipeline.
+
+    ``kernel`` is a private clone with PREFETCH operations inserted;
+    ``partition`` maps its blocks to prefetch regions; ``liveness`` holds
+    dead-operand information (computed before PREFETCH insertion, so the
+    per-point tables index the *original* instruction positions -- use
+    the instructions' own ``dead_srcs`` annotations during simulation).
+    """
+
+    source: Kernel
+    kernel: Kernel
+    partition: RegionPartition
+    liveness: LivenessInfo
+    code_size: CodeSizeReport
+    max_registers: int
+
+    @property
+    def prefetch_count(self) -> int:
+        return self.code_size.prefetch_operations
+
+
+def compile_kernel(
+    kernel: Kernel,
+    region_kind: str = "register-interval",
+    max_registers: int = DEFAULT_MAX_REGISTERS,
+    run_pass2: bool = True,
+) -> CompiledKernel:
+    """Compile ``kernel`` for a software-managed hierarchical register file.
+
+    ``region_kind`` selects the prefetch-region former:
+    ``"register-interval"`` (the paper's Algorithms 1 and 2) or
+    ``"strand"`` (the SHRF/Gebhart baseline).  ``run_pass2=False``
+    disables Algorithm 2 (pass-2 ablation; register-intervals only).
+    """
+    if region_kind not in REGION_KINDS:
+        raise ValueError(
+            f"unknown region kind {region_kind!r}; expected one of {REGION_KINDS}"
+        )
+    clone = kernel.clone()
+    liveness = annotate_dead_operands(clone)
+    if region_kind == "register-interval":
+        partition = form_register_intervals(
+            clone, max_registers=max_registers, run_pass2=run_pass2
+        )
+    else:
+        partition = form_strands(clone, max_registers=max_registers)
+    code_size = insert_prefetches(clone, partition)
+    clone.cfg.validate()
+    return CompiledKernel(
+        source=kernel,
+        kernel=clone,
+        partition=partition,
+        liveness=liveness,
+        code_size=code_size,
+        max_registers=max_registers,
+    )

@@ -1,0 +1,205 @@
+"""Strand formation: the SHRF baseline's prefetch regions.
+
+Strands come from Gebhart et al.'s compile-time managed register file
+hierarchy (MICRO'11), the paper's SHRF comparison point (Section 6.6).
+A strand is a much more constrained CFG subgraph than a register-interval:
+
+* long/variable-latency operations (global memory accesses) terminate a
+  strand, because the warp may be descheduled at that point;
+* **backward branches terminate a strand** -- loops can never be enclosed;
+* like register-intervals, the working set is bounded by N.
+
+Because our blocks may contain long-latency operations mid-block, strand
+formation first splits every block after each long-latency instruction,
+then groups blocks greedily along single-predecessor forward chains.
+
+The resulting :class:`~repro.compiler.regions.RegionPartition` has kind
+``"strand"`` and plugs into the same PREFETCH insertion and policies as
+register-intervals, which is exactly how the paper builds its
+``LTRF (strand)`` comparison point (Figure 14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.cfg import CFG
+from repro.ir.kernel import Kernel
+from repro.compiler.regions import Region, RegionPartition
+from repro.compiler.register_intervals import DEFAULT_MAX_REGISTERS
+
+
+#: Strands are typically terminated by control-flow constraints well
+#: before they fill the register budget (Section 6.6 of the paper:
+#: "a strand is typically terminated due to unrelated control flow
+#: constraints, and as a result, the strand's register working-set is
+#: often smaller than the available register file cache space").  Real
+#: CUDA basic blocks span a handful of instructions; this cap models
+#: those block boundaries inside our synthetic single-block bodies.
+DEFAULT_MAX_STRAND_INSTRUCTIONS = 8
+
+
+def form_strands(
+    kernel: Kernel,
+    max_registers: int = DEFAULT_MAX_REGISTERS,
+    max_instructions: int = DEFAULT_MAX_STRAND_INSTRUCTIONS,
+) -> RegionPartition:
+    """Partition ``kernel``'s CFG into strands.
+
+    Mutates the CFG (splits blocks after long-latency operations), so run
+    on a ``kernel.clone()`` -- the compile pipeline does.
+    """
+    if max_registers < 4:
+        raise ValueError("max_registers must be at least 4 (one instruction)")
+    if max_instructions < 1:
+        raise ValueError("max_instructions must be positive")
+    cfg = kernel.cfg
+    _split_after_long_latency(cfg)
+    _split_every(cfg, max_instructions)
+    _split_register_overflow(cfg, max_registers)
+
+    rpo = cfg.reverse_postorder()
+    rpo_position = {label: i for i, label in enumerate(rpo)}
+    loop_headers = set(cfg.natural_loops())
+    preds = cfg.predecessors_map()
+
+    assignment: Dict[str, int] = {}
+    strand_blocks: List[List[str]] = []
+    strand_regs: List[Set[int]] = []
+
+    for label in rpo:
+        if label in assignment:
+            continue
+        strand_id = len(strand_blocks)
+        strand_blocks.append([])
+        strand_regs.append(set())
+        current = label
+        while True:
+            assignment[current] = strand_id
+            strand_blocks[strand_id].append(current)
+            strand_regs[strand_id] |= cfg.block(current).registers()
+            nxt = _strand_extension(
+                cfg, current, assignment, preds, rpo_position, loop_headers,
+                strand_regs[strand_id], max_registers,
+            )
+            if nxt is None:
+                break
+            if sum(len(cfg.block(b)) for b in strand_blocks[strand_id]) \
+                    >= max_instructions:
+                break
+            current = nxt
+
+    regions = [
+        Region(
+            id=i,
+            header=blocks[0],
+            blocks=frozenset(blocks),
+            registers=frozenset(regs),
+        )
+        for i, (blocks, regs) in enumerate(zip(strand_blocks, strand_regs))
+    ]
+    partition = RegionPartition(
+        kind="strand",
+        regions=regions,
+        block_to_region=assignment,
+        max_registers=max_registers,
+    )
+    partition.validate(cfg)
+    return partition
+
+
+def _strand_extension(cfg, current, assignment, preds, rpo_position,
+                      loop_headers, regs, max_registers):
+    """The unique block the strand may extend into, or ``None``.
+
+    A strand ends at ``current`` when:
+
+    * ``current`` ends with a long-latency operation (warp may desched);
+    * ``current`` has multiple successors (control-dependent follow-on);
+    * the unique successor has other predecessors, is a loop header, or
+      is reached by a backward edge;
+    * the successor's registers would overflow the working-set bound.
+    """
+    block = cfg.block(current)
+    if block.instructions and block.instructions[-1].is_long_latency:
+        return None
+    terminator = block.terminator
+    if terminator is not None and terminator.is_conditional:
+        return None            # control-dependent continuation
+    succs = cfg.successors(current)
+    if len(succs) != 1:
+        return None
+    (succ,) = succs
+    if succ in assignment:
+        return None
+    if succ in loop_headers:
+        return None
+    if rpo_position[succ] <= rpo_position[current]:
+        return None            # backward edge
+    if len(preds[succ]) != 1:
+        return None            # merge point: another entry exists
+    if len(regs | cfg.block(succ).registers()) > max_registers:
+        return None
+    return succ
+
+
+def _split_after_long_latency(cfg: CFG) -> None:
+    """Split every block so long-latency ops are always block-final."""
+    counter = 0
+    for label in list(cfg.labels()):
+        current = label
+        while True:
+            block = cfg.block(current)
+            cut = None
+            for index, instruction in enumerate(block.instructions[:-1]):
+                if instruction.is_long_latency:
+                    cut = index + 1
+                    break
+            if cut is None:
+                break
+            counter += 1
+            tail = cfg.split_block(current, cut, f"{current}.st{counter}")
+            current = tail.label
+
+
+def _split_register_overflow(cfg: CFG, max_registers: int) -> None:
+    """Split blocks whose own register set exceeds the strand bound.
+
+    Guarantees every block can at least start a strand by itself; strand
+    extension then only ever *declines* a block, never needs to split it.
+    """
+    counter = 0
+    for label in list(cfg.labels()):
+        current = label
+        while True:
+            block = cfg.block(current)
+            regs: Set[int] = set()
+            cut = None
+            for index, instruction in enumerate(block.instructions):
+                needed = instruction.registers()
+                if index > 0 and len(regs | needed) > max_registers:
+                    cut = index
+                    break
+                regs |= needed
+            if cut is None:
+                break
+            counter += 1
+            tail = cfg.split_block(current, cut, f"{current}.sr{counter}")
+            current = tail.label
+
+
+def _split_every(cfg: CFG, max_instructions: int) -> None:
+    """Split long straight-line blocks into block-sized pieces.
+
+    Emulates the basic-block granularity of real compiled kernels, the
+    "unrelated control flow constraints" that terminate strands.
+    """
+    counter = 0
+    for label in list(cfg.labels()):
+        current = label
+        while len(cfg.block(current)) > max_instructions:
+            counter += 1
+            tail = cfg.split_block(
+                current, max_instructions, f"{current}.sb{counter}"
+            )
+            current = tail.label

@@ -1,0 +1,129 @@
+"""Capacity experiments: Figure 3, Figure 4, Figure 9, Figure 10.
+
+All four run the 14-workload evaluation subset and normalise to the
+baseline architecture: BL on configuration #1 with the 16KB RFC budget
+folded into the main register file (Section 5, "Comparison Points").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.report import ExperimentResult, geomean, mean
+from repro.experiments.runner import Runner, baseline_config, table2_config
+from repro.power.energy import normalized_power
+from repro.workloads import EVALUATION, EVALUATION_INSENSITIVE, SUITE
+
+
+def _workloads(workloads: Optional[List[str]]) -> List[str]:
+    return list(workloads) if workloads is not None else list(EVALUATION)
+
+
+def fig3(runner: Runner, workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """IPC of real vs ideal TFET-SRAM (8x capacity), normalised to baseline.
+
+    *TFET-SRAM* is BL running on configuration #6 (real 5.3x latency);
+    *Ideal TFET-SRAM* is the same capacity at baseline latency.
+    """
+    result = ExperimentResult(
+        "Figure 3",
+        "8x register file via TFET-SRAM: real vs ideal latency",
+        ("Workload", "Category", "Ideal TFET", "TFET-SRAM"),
+    )
+    config = table2_config(6)
+    ideal_values, real_values = [], []
+    sensitive_ideal = []
+    for name in _workloads(workloads):
+        base = runner.simulate(name, "BL", baseline_config())
+        ideal = runner.simulate(name, "Ideal", config).ipc / base.ipc
+        real = runner.simulate(name, "BL", config).ipc / base.ipc
+        category = SUITE[name].category
+        result.add_row(name, category, ideal, real)
+        ideal_values.append(ideal)
+        real_values.append(real)
+        if category == "register-sensitive":
+            sensitive_ideal.append(ideal)
+    result.summary = {
+        "ideal_mean": geomean(ideal_values),
+        "ideal_sensitive_mean": geomean(sensitive_ideal),
+        "real_mean": geomean(real_values),
+    }
+    return result
+
+
+def fig4(runner: Runner, workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """Hardware (RFC) vs software (SHRF) register cache hit rates."""
+    result = ExperimentResult(
+        "Figure 4",
+        "Register cache hit rate, 16KB cache, baseline configuration",
+        ("Workload", "Category", "HW cache (RFC)", "SW cache (SHRF)"),
+    )
+    config = baseline_config()
+    hw_rates, sw_rates = [], []
+    for name in _workloads(workloads):
+        hw = runner.simulate(name, "RFC", config).rfc_hit_rate
+        sw = runner.simulate(name, "SHRF", config).rfc_hit_rate
+        result.add_row(name, SUITE[name].category, hw, sw)
+        hw_rates.append(hw)
+        sw_rates.append(sw)
+    result.summary = {
+        "hw_min": min(hw_rates), "hw_max": max(hw_rates),
+        "hw_mean": mean(hw_rates), "sw_mean": mean(sw_rates),
+    }
+    return result
+
+
+FIG9_POLICIES = ("BL", "RFC", "LTRF", "LTRF+", "Ideal")
+
+
+def fig9(runner: Runner, config_id: int = 6,
+         workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """Normalised IPC of all designs on configuration #6 or #7."""
+    label = {6: "Figure 9a", 7: "Figure 9b"}[config_id]
+    result = ExperimentResult(
+        label,
+        f"IPC on configuration #{config_id}, normalised to baseline",
+        ("Workload", "Category") + FIG9_POLICIES,
+    )
+    config = table2_config(config_id)
+    series = {policy: [] for policy in FIG9_POLICIES}
+    for name in _workloads(workloads):
+        base = runner.simulate(name, "BL", baseline_config())
+        row = []
+        for policy in FIG9_POLICIES:
+            value = runner.simulate(name, policy, config).ipc / base.ipc
+            row.append(value)
+            series[policy].append(value)
+        result.add_row(name, SUITE[name].category, *row)
+    result.summary = {
+        f"{policy}_mean": geomean(values)
+        for policy, values in series.items()
+    }
+    return result
+
+
+FIG10_POLICIES = ("RFC", "LTRF", "LTRF+")
+
+
+def fig10(runner: Runner, workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """Register file power on configuration #7, normalised to baseline."""
+    result = ExperimentResult(
+        "Figure 10",
+        "Register file power on configuration #7 (DWM), normalised",
+        ("Workload", "Category") + FIG10_POLICIES,
+    )
+    config = table2_config(7)
+    series = {policy: [] for policy in FIG10_POLICIES}
+    for name in _workloads(workloads):
+        base = runner.simulate(name, "BL", baseline_config())
+        row = []
+        for policy in FIG10_POLICIES:
+            record = runner.simulate(name, policy, config)
+            value = normalized_power(record, base, 7, policy)
+            row.append(value)
+            series[policy].append(value)
+        result.add_row(name, SUITE[name].category, *row)
+    result.summary = {
+        f"{policy}_mean": mean(values) for policy, values in series.items()
+    }
+    return result

@@ -1,0 +1,109 @@
+"""Compiler-output experiments: Table 4 and the Section 4.3 overheads.
+
+* **Table 4** compares real register-interval dynamic lengths against
+  the control-flow-free optimum over the full 35-workload suite.
+* **Overheads** reproduces the Section 4.3 accounting: code size growth
+  under both PREFETCH-encoding schemes, WCB storage bits, and the
+  4-6x reduction in main register file accesses LTRF achieves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.arch.config import WARP_REGISTER_BYTES
+from repro.arch.wcb import wcb_storage_bits
+from repro.compiler import compile_kernel, region_length_comparison
+from repro.experiments.report import ExperimentResult, mean
+from repro.experiments.runner import Runner, baseline_config, table2_config
+from repro.workloads import EVALUATION, get_kernel, workload_names
+
+
+def table4(workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """Real vs optimal register-interval dynamic lengths."""
+    names = list(workloads) if workloads is not None else workload_names()
+    real_avgs, optimal_avgs = [], []
+    real_mins, real_maxs, optimal_mins, optimal_maxs = [], [], [], []
+    for name in names:
+        compiled = compile_kernel(get_kernel(name))
+        comparison = region_length_comparison(compiled)
+        real, optimal = comparison["real"], comparison["optimal"]
+        real_avgs.append(real.average)
+        optimal_avgs.append(optimal.average)
+        real_mins.append(real.minimum)
+        real_maxs.append(real.maximum)
+        optimal_mins.append(optimal.minimum)
+        optimal_maxs.append(optimal.maximum)
+    result = ExperimentResult(
+        "Table 4",
+        f"Register-interval dynamic lengths over {len(names)} workloads",
+        ("Register-Interval Length", "Average", "Minimum", "Maximum"),
+    )
+    result.add_row("Real", mean(real_avgs), min(real_mins), max(real_maxs))
+    result.add_row("Optimal", mean(optimal_avgs), min(optimal_mins),
+                   max(optimal_maxs))
+    result.summary = {
+        "real_avg": mean(real_avgs),
+        "optimal_avg": mean(optimal_avgs),
+        "real_over_optimal": (
+            mean(real_avgs) / mean(optimal_avgs) if mean(optimal_avgs) else 0.0
+        ),
+    }
+    return result
+
+
+def overheads(runner: Runner,
+              workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """Section 4.3: code size, WCB storage, MRF access reduction."""
+    names = list(workloads) if workloads is not None else list(EVALUATION)
+    embedded, explicit, reductions = [], [], []
+    result = ExperimentResult(
+        "Section 4.3",
+        "LTRF overheads: code size, storage, and MRF traffic",
+        ("Workload", "Code +bit", "Code +instr", "MRF access reduction"),
+    )
+    config6 = table2_config(6)
+    for name in names:
+        compiled = compile_kernel(get_kernel(name))
+        report = compiled.code_size
+        base = runner.simulate(name, "BL", baseline_config())
+        ltrf = runner.simulate(name, "LTRF", config6)
+        base_rate = base.mrf_accesses / max(1, base.instructions)
+        ltrf_rate = ltrf.mrf_accesses / max(1, ltrf.instructions)
+        reduction = base_rate / ltrf_rate if ltrf_rate else 0.0
+        embedded.append(report.embedded_bit_overhead)
+        explicit.append(report.explicit_instruction_overhead)
+        reductions.append(reduction)
+        result.add_row(
+            name,
+            f"{report.embedded_bit_overhead:.1%}",
+            f"{report.explicit_instruction_overhead:.1%}",
+            f"{reduction:.1f}x",
+        )
+    bits = wcb_storage_bits(64, 256, 8)
+    baseline_bits = 256 * 1024 * 8
+    result.summary = {
+        "code_embedded_mean": mean(embedded),
+        "code_explicit_mean": mean(explicit),
+        "mrf_reduction_mean": mean(reductions),
+        "wcb_bits": bits,
+        "wcb_share_of_256kb": bits / baseline_bits,
+    }
+    return result
+
+
+def storage_report() -> ExperimentResult:
+    """WCB storage accounting at paper scale (no simulation needed)."""
+    result = ExperimentResult(
+        "Section 4.3 (storage)",
+        "Warp Control Block storage per SM",
+        ("Warps", "Registers", "Active warps", "Total bits", "Share of 256KB"),
+    )
+    for warps, registers, active in ((64, 256, 8), (32, 256, 8), (64, 128, 8)):
+        bits = wcb_storage_bits(warps, registers, active)
+        share = bits / (256 * 1024 * 8)
+        result.add_row(warps, registers, active, bits, f"{share:.1%}")
+    result.summary = {
+        "paper_config_bits": wcb_storage_bits(64, 256, 8),
+    }
+    return result

@@ -1,0 +1,180 @@
+"""Latency-tolerance experiments: Figures 11, 12, 13, and 14.
+
+All four sweep the main register file latency multiple at constant
+capacity (the paper: "We increase the main register file access latency
+while keeping the main register file size constant").  IPC at each
+point is normalised to the same design at 1x.
+
+Figure 11's metric is the *maximum tolerable register file access
+latency*: the largest multiple whose IPC loss stays within a threshold
+(5% headline; 1% and 10% variants in the text).  We evaluate the sweep
+on a fixed grid and interpolate the crossing linearly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.report import ExperimentResult, mean
+from repro.experiments.runner import Runner, sweep_config
+from repro.workloads import EVALUATION, SUITE
+
+#: The latency grid of Figures 12-14 (x axis: 1x..7x).
+LATENCY_GRID = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0)
+
+#: Workload subset used for the averaged sweep figures, chosen to mix
+#: both categories (the paper averages over all 14; the subset keeps
+#: the grid tractable and is expanded by passing workloads=EVALUATION).
+SWEEP_SUBSET = ("btree", "kmeans", "backprop", "srad", "lud", "lavamd")
+
+FIG14_POLICIES = ("BL", "RFC", "SHRF", "LTRF-strand", "LTRF")
+FIG11_POLICIES = ("BL", "RFC", "LTRF", "LTRF+")
+
+
+def normalized_sweep(runner: Runner, policy: str, workload: str,
+                     grid: Sequence[float] = LATENCY_GRID,
+                     **config_overrides) -> List[float]:
+    """IPC at each grid point, normalised to the same design at 1x."""
+    values = []
+    base = None
+    for multiple in grid:
+        record = runner.simulate(
+            workload, policy, sweep_config(multiple, **config_overrides)
+        )
+        if base is None:
+            base = record.ipc
+        values.append(record.ipc / base if base else 0.0)
+    return values
+
+
+def max_tolerable_latency(normalized: Sequence[float],
+                          grid: Sequence[float] = LATENCY_GRID,
+                          loss: float = 0.05) -> float:
+    """Largest latency multiple with IPC >= (1 - loss), interpolated."""
+    threshold = 1.0 - loss
+    tolerable = grid[0]
+    for index in range(1, len(grid)):
+        previous, current = normalized[index - 1], normalized[index]
+        if current >= threshold:
+            tolerable = grid[index]
+            continue
+        if previous >= threshold > current:
+            span = previous - current
+            fraction = (previous - threshold) / span if span else 0.0
+            tolerable = grid[index - 1] + fraction * (
+                grid[index] - grid[index - 1]
+            )
+        break
+    return tolerable
+
+
+def fig11(runner: Runner, workloads: Optional[List[str]] = None,
+          loss: float = 0.05) -> ExperimentResult:
+    """Maximum tolerable register file latency per design per workload."""
+    names = list(workloads) if workloads is not None else list(EVALUATION)
+    result = ExperimentResult(
+        "Figure 11",
+        f"Maximum tolerable RF latency (<= {loss:.0%} IPC loss)",
+        ("Workload", "Category") + FIG11_POLICIES,
+    )
+    series: Dict[str, List[float]] = {p: [] for p in FIG11_POLICIES}
+    for name in names:
+        row = []
+        for policy in FIG11_POLICIES:
+            sweep = normalized_sweep(runner, policy, name)
+            tolerable = max_tolerable_latency(sweep, loss=loss)
+            row.append(tolerable)
+            series[policy].append(tolerable)
+        result.add_row(name, SUITE[name].category, *row)
+    result.summary = {
+        f"{policy}_mean": mean(values) for policy, values in series.items()
+    }
+    return result
+
+
+def fig12(runner: Runner, workloads: Optional[List[str]] = None,
+          interval_sizes: Sequence[int] = (8, 16, 32)) -> ExperimentResult:
+    """LTRF IPC vs latency for different registers-per-interval budgets."""
+    names = list(workloads) if workloads is not None else list(SWEEP_SUBSET)
+    result = ExperimentResult(
+        "Figure 12",
+        "LTRF normalised IPC vs MRF latency and interval size",
+        ("Relative latency",) + tuple(f"{n} regs" for n in interval_sizes),
+    )
+    curves = {}
+    for size in interval_sizes:
+        per_point = [[] for _ in LATENCY_GRID]
+        for name in names:
+            sweep = normalized_sweep(
+                runner, "LTRF", name, regs_per_interval=size
+            )
+            for index, value in enumerate(sweep):
+                per_point[index].append(value)
+        curves[size] = [mean(point) for point in per_point]
+    for index, multiple in enumerate(LATENCY_GRID):
+        result.add_row(
+            f"{multiple:.0f}x", *(curves[s][index] for s in interval_sizes)
+        )
+    result.summary = {
+        f"regs{s}_at_{LATENCY_GRID[-1]:.0f}x": curves[s][-1]
+        for s in interval_sizes
+    }
+    return result
+
+
+def fig13(runner: Runner, workloads: Optional[List[str]] = None,
+          pools: Sequence[int] = (4, 8, 16)) -> ExperimentResult:
+    """LTRF IPC vs latency for different active-warp pool sizes."""
+    names = list(workloads) if workloads is not None else list(SWEEP_SUBSET)
+    result = ExperimentResult(
+        "Figure 13",
+        "LTRF normalised IPC vs MRF latency and active warps",
+        ("Relative latency",) + tuple(f"{n} warps" for n in pools),
+    )
+    curves = {}
+    for pool in pools:
+        per_point = [[] for _ in LATENCY_GRID]
+        for name in names:
+            sweep = normalized_sweep(
+                runner, "LTRF", name, active_warps=pool
+            )
+            for index, value in enumerate(sweep):
+                per_point[index].append(value)
+        curves[pool] = [mean(point) for point in per_point]
+    for index, multiple in enumerate(LATENCY_GRID):
+        result.add_row(
+            f"{multiple:.0f}x", *(curves[p][index] for p in pools)
+        )
+    slowest = len(LATENCY_GRID) - 1
+    result.summary = {
+        f"warps{p}_at_{LATENCY_GRID[-1]:.0f}x": curves[p][slowest]
+        for p in pools
+    }
+    return result
+
+
+def fig14(runner: Runner, workloads: Optional[List[str]] = None) -> ExperimentResult:
+    """Normalised IPC vs latency for all five designs."""
+    names = list(workloads) if workloads is not None else list(SWEEP_SUBSET)
+    result = ExperimentResult(
+        "Figure 14",
+        "Normalised IPC vs MRF latency: BL/RFC/SHRF/LTRF-strand/LTRF",
+        ("Relative latency",) + FIG14_POLICIES,
+    )
+    curves = {}
+    for policy in FIG14_POLICIES:
+        per_point = [[] for _ in LATENCY_GRID]
+        for name in names:
+            sweep = normalized_sweep(runner, policy, name)
+            for index, value in enumerate(sweep):
+                per_point[index].append(value)
+        curves[policy] = [mean(point) for point in per_point]
+    for index, multiple in enumerate(LATENCY_GRID):
+        result.add_row(
+            f"{multiple:.0f}x", *(curves[p][index] for p in FIG14_POLICIES)
+        )
+    result.summary = {
+        f"{policy}_tolerable": max_tolerable_latency(curves[policy])
+        for policy in FIG14_POLICIES
+    }
+    return result

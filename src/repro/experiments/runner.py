@@ -1,0 +1,178 @@
+"""Simulation runner with on-disk result caching.
+
+Every experiment reduces to "simulate workload X under policy P on
+configuration C".  The runner centralises that, memoises results both
+in memory and on disk (keyed by a fingerprint of the inputs), and
+returns slim :class:`RunRecord` objects.  The latency sweeps of
+Figures 11-14 revisit the same grid points, so caching cuts the full
+reproduction from thousands of simulations to a few hundred.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, Optional
+
+from repro.arch.config import GPUConfig
+from repro.arch.sm import StreamingMultiprocessor
+from repro.policies import policy_by_name
+from repro.workloads import get_kernel
+
+#: Default on-disk cache location (created on demand).
+DEFAULT_CACHE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    ))),
+    ".ltrf_cache",
+)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Slim, JSON-serialisable summary of one simulation."""
+
+    workload: str
+    policy: str
+    ipc: float
+    cycles: int
+    instructions: int
+    prefetch_operations: int
+    resident_warps: int
+    activations: int
+    deactivations: int
+    mrf_reads: int
+    mrf_writes: int
+    rfc_reads: int
+    rfc_writes: int
+    rfc_read_hits: int
+    rfc_read_misses: int
+    rfc_fills: int
+    rfc_writebacks: int
+    l1_hit_rate: float
+
+    @property
+    def mrf_accesses(self) -> int:
+        return self.mrf_reads + self.mrf_writes
+
+    @property
+    def rfc_accesses(self) -> int:
+        return self.rfc_reads + self.rfc_writes
+
+    @property
+    def rfc_hit_rate(self) -> float:
+        total = self.rfc_read_hits + self.rfc_read_misses
+        return self.rfc_read_hits / total if total else 0.0
+
+
+def _config_fingerprint(config: GPUConfig) -> str:
+    payload = {
+        field.name: getattr(config, field.name)
+        for field in fields(config)
+        if field.name != "memory"
+    }
+    payload["memory"] = asdict(config.memory)
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha1(blob.encode()).hexdigest()[:16]
+
+
+class Runner:
+    """Cached simulation front-end used by all experiments."""
+
+    def __init__(self, cache_dir: Optional[str] = DEFAULT_CACHE_DIR) -> None:
+        self.cache_dir = cache_dir
+        self._memory_cache: Dict[str, RunRecord] = {}
+        if cache_dir is not None:
+            os.makedirs(cache_dir, exist_ok=True)
+
+    # -- cache plumbing -----------------------------------------------------
+
+    def _key(self, workload: str, policy: str, config: GPUConfig,
+             seed: int) -> str:
+        return f"{workload}__{policy}__{_config_fingerprint(config)}__{seed}"
+
+    def _cache_path(self, key: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        safe = key.replace("/", "_").replace("+", "plus")
+        return os.path.join(self.cache_dir, f"{safe}.json")
+
+    def _load(self, key: str) -> Optional[RunRecord]:
+        if key in self._memory_cache:
+            return self._memory_cache[key]
+        path = self._cache_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            record = RunRecord(**payload)
+        except (ValueError, TypeError, KeyError):
+            return None          # stale cache entry from an older schema
+        self._memory_cache[key] = record
+        return record
+
+    def _store(self, key: str, record: RunRecord) -> None:
+        self._memory_cache[key] = record
+        path = self._cache_path(key)
+        if path is not None:
+            with open(path, "w") as handle:
+                json.dump(asdict(record), handle)
+
+    # -- simulation -------------------------------------------------------------
+
+    def simulate(self, workload: str, policy: str, config: GPUConfig,
+                 seed: int = 0) -> RunRecord:
+        """Run (or fetch from cache) one simulation."""
+        key = self._key(workload, policy, config, seed)
+        cached = self._load(key)
+        if cached is not None:
+            return cached
+        kernel = get_kernel(workload)
+        sm = StreamingMultiprocessor(config, policy_by_name(policy))
+        result = sm.run(kernel, seed=seed)
+        record = RunRecord(
+            workload=workload,
+            policy=policy,
+            ipc=result.ipc,
+            cycles=result.cycles,
+            instructions=result.instructions,
+            prefetch_operations=result.prefetch_operations,
+            resident_warps=result.resident_warps,
+            activations=result.activations,
+            deactivations=result.deactivations,
+            mrf_reads=result.mrf_reads,
+            mrf_writes=result.mrf_writes,
+            rfc_reads=result.rfc_reads,
+            rfc_writes=result.rfc_writes,
+            rfc_read_hits=result.rfc_read_hits,
+            rfc_read_misses=result.rfc_read_misses,
+            rfc_fills=result.rfc_fills,
+            rfc_writebacks=result.rfc_writebacks,
+            l1_hit_rate=result.l1_hit_rate,
+        )
+        self._store(key, record)
+        return record
+
+
+# -- standard configurations --------------------------------------------------
+
+def baseline_config(**overrides) -> GPUConfig:
+    """The normalisation baseline: configuration #1 plus the 16KB the
+    cached designs spend on their RFC (Section 5, "Comparison Points")."""
+    return GPUConfig(mrf_size_kb=272).scaled(**overrides)
+
+
+def table2_config(config_id: int, **overrides) -> GPUConfig:
+    """Simulator configuration for a Table 2 design point."""
+    from repro.power.tech import gpu_config_for
+    return gpu_config_for(config_id, GPUConfig(), **overrides)
+
+
+def sweep_config(latency_multiple: float, **overrides) -> GPUConfig:
+    """Constant-size latency-sweep point (Figures 11-14)."""
+    return baseline_config(
+        mrf_latency_multiple=latency_multiple, **overrides
+    )

@@ -1,0 +1,122 @@
+"""Static experiments: Table 1, Figure 2, Table 2.
+
+These three reproductions do not need the timing simulator:
+
+* **Table 1** derives the register file capacity each suite workload
+  needs to reach maximum TLP on Fermi (48 warps/SM, 64-register cap)
+  and Maxwell (64 warps/SM, 256-register cap) from the workload specs'
+  register demands;
+* **Figure 2** is published per-generation on-chip memory data;
+* **Table 2** carries the published design points and cross-checks them
+  against our analytic CACTI-style model.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import WARP_REGISTER_BYTES
+from repro.experiments.report import ExperimentResult, mean
+from repro.power import cacti
+from repro.power.tech import TABLE2
+from repro.workloads import SUITE
+
+#: Maximum resident warps per SM for the two product generations.
+FERMI_WARPS = 48
+MAXWELL_WARPS = 64
+FERMI_BASELINE_KB = 128
+MAXWELL_BASELINE_KB = 256
+
+
+def _demand_kb(registers: int, warps: int) -> float:
+    return registers * warps * WARP_REGISTER_BYTES / 1024
+
+
+def table1() -> ExperimentResult:
+    """Average and maximum register file demand across the 35 workloads."""
+    fermi = [
+        _demand_kb(min(spec.registers_fermi, 64), FERMI_WARPS)
+        for spec in SUITE.values()
+    ]
+    maxwell = [
+        _demand_kb(spec.registers, MAXWELL_WARPS)
+        for spec in SUITE.values()
+    ]
+    result = ExperimentResult(
+        "Table 1",
+        "Register file capacity required to maximise TLP (35 workloads)",
+        ("GPU (baseline RF)", "Average required", "Maximum required"),
+    )
+    result.add_row(
+        f"Fermi ({FERMI_BASELINE_KB}KB)",
+        f"{mean(fermi):.0f}KB ({mean(fermi) / FERMI_BASELINE_KB:.1f}x)",
+        f"{max(fermi):.0f}KB ({max(fermi) / FERMI_BASELINE_KB:.1f}x)",
+    )
+    result.add_row(
+        f"Maxwell ({MAXWELL_BASELINE_KB}KB)",
+        f"{mean(maxwell):.0f}KB ({mean(maxwell) / MAXWELL_BASELINE_KB:.1f}x)",
+        f"{max(maxwell):.0f}KB ({max(maxwell) / MAXWELL_BASELINE_KB:.1f}x)",
+    )
+    result.summary = {
+        "fermi_avg_x": mean(fermi) / FERMI_BASELINE_KB,
+        "fermi_max_x": max(fermi) / FERMI_BASELINE_KB,
+        "maxwell_avg_x": mean(maxwell) / MAXWELL_BASELINE_KB,
+        "maxwell_max_x": max(maxwell) / MAXWELL_BASELINE_KB,
+    }
+    return result
+
+
+#: Figure 2 source data: on-chip memory (MB) per flagship generation,
+#: from the product whitepapers the paper cites (GF100, GK110, GM200,
+#: GP100).
+FIGURE2_DATA = {
+    "Fermi (2010)": {"l1_shared": 1.0, "l2": 0.75, "register_file": 2.0},
+    "Kepler (2012)": {"l1_shared": 0.96, "l2": 1.5, "register_file": 3.75},
+    "Maxwell (2014)": {"l1_shared": 2.25, "l2": 3.0, "register_file": 6.0},
+    "Pascal (2016)": {"l1_shared": 4.9, "l2": 4.0, "register_file": 14.3},
+}
+
+
+def fig2() -> ExperimentResult:
+    """On-chip memory capacity across GPU generations."""
+    result = ExperimentResult(
+        "Figure 2",
+        "On-chip memory components across NVIDIA generations (MB)",
+        ("Generation", "L1D+Shared", "L2", "Register file", "RF share"),
+    )
+    for generation, parts in FIGURE2_DATA.items():
+        total = sum(parts.values())
+        result.add_row(
+            generation, parts["l1_shared"], parts["l2"],
+            parts["register_file"], f"{parts['register_file'] / total:.0%}",
+        )
+    pascal = FIGURE2_DATA["Pascal (2016)"]
+    result.summary = {
+        "pascal_rf_share": pascal["register_file"] / sum(pascal.values()),
+    }
+    return result
+
+
+def table2() -> ExperimentResult:
+    """Design points with analytic-model cross-check of the latencies."""
+    result = ExperimentResult(
+        "Table 2",
+        "Register file designs (published vs analytic model)",
+        ("Config", "Cell", "#Banks", "Bank size", "Capacity",
+         "Area", "Power", "Latency (paper)", "Latency (model)"),
+    )
+    errors = []
+    for point in TABLE2.values():
+        topology = (
+            "butterfly" if point.network == "F. Butterfly" else "crossbar"
+        )
+        modelled = cacti.design_latency(
+            16 * point.bank_size_scale, point.banks, point.cell, topology
+        )
+        errors.append(abs(modelled - point.latency_scale) / point.latency_scale)
+        result.add_row(
+            f"#{point.config_id}", point.cell, f"{point.banks_scale}x",
+            f"{point.bank_size_scale}x", f"{point.capacity_scale}x",
+            f"{point.area_scale}x", f"{point.power_scale}x",
+            f"{point.latency_scale}x", f"{modelled:.2f}x",
+        )
+    result.summary = {"mean_model_error": mean(errors)}
+    return result

@@ -1,0 +1,124 @@
+"""Basic blocks: straight-line instruction sequences with one terminator.
+
+A block may end in a ``BRA`` (conditional branches additionally have a
+fall-through edge to the next block in layout order) or in ``EXIT``.
+Blocks that end in neither fall through unconditionally.  Edges are kept
+on the CFG (:mod:`repro.ir.cfg`), not on the blocks, so that blocks stay
+reusable value objects while the CFG owns connectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+from repro.ir.instruction import Instruction, Opcode
+
+
+@dataclass
+class BasicBlock:
+    """A labelled basic block.
+
+    ``label`` is unique within a kernel.  ``instructions`` includes the
+    terminator (if any).  The block is intentionally mutable: compiler
+    passes split blocks and insert PREFETCH operations in place.
+    """
+
+    label: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise ValueError("basic block label must be non-empty")
+        self._check_terminator_position()
+
+    def _check_terminator_position(self) -> None:
+        for index, instruction in enumerate(self.instructions):
+            terminal = instruction.opcode in (Opcode.BRA, Opcode.EXIT)
+            if terminal and index != len(self.instructions) - 1:
+                raise ValueError(
+                    f"{self.label}: terminator {instruction} is not last"
+                )
+
+    # -- terminator helpers ----------------------------------------------
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The final instruction if it is a branch or exit, else ``None``."""
+        if self.instructions and self.instructions[-1].opcode in (
+            Opcode.BRA, Opcode.EXIT,
+        ):
+            return self.instructions[-1]
+        return None
+
+    @property
+    def falls_through(self) -> bool:
+        """True when control can continue to the layout successor."""
+        terminator = self.terminator
+        if terminator is None:
+            return True
+        if terminator.opcode is Opcode.EXIT:
+            return False
+        return terminator.is_conditional  # unconditional BRA never falls
+
+    @property
+    def branch_target(self) -> Optional[str]:
+        terminator = self.terminator
+        if terminator is not None and terminator.opcode is Opcode.BRA:
+            return terminator.target
+        return None
+
+    # -- register accounting ----------------------------------------------
+
+    def registers(self) -> FrozenSet[int]:
+        """All architectural registers referenced in this block."""
+        used: set = set()
+        for instruction in self.instructions:
+            used |= instruction.registers()
+        return frozenset(used)
+
+    def defs(self) -> FrozenSet[int]:
+        """Registers written anywhere in this block."""
+        written: set = set()
+        for instruction in self.instructions:
+            written.update(instruction.dsts)
+        return frozenset(written)
+
+    def upward_exposed_uses(self) -> FrozenSet[int]:
+        """Registers read before any write in this block (liveness *use*)."""
+        written: set = set()
+        used: set = set()
+        for instruction in self.instructions:
+            for src in instruction.srcs:
+                if src not in written:
+                    used.add(src)
+            written.update(instruction.dsts)
+        return frozenset(used)
+
+    def append(self, instruction: Instruction) -> None:
+        """Append an instruction, preserving the terminator-last invariant."""
+        if self.terminator is not None:
+            raise ValueError(f"{self.label}: cannot append past terminator")
+        self.instructions.append(instruction)
+
+    def split_at(self, index: int, new_label: str) -> "BasicBlock":
+        """Split this block before ``index``; return the new tail block.
+
+        Used by register-interval formation (Algorithm 1, lines 30-37)
+        when a single block's working set exceeds the cache partition.
+        The caller is responsible for rewiring CFG edges.
+        """
+        if not 0 < index < len(self.instructions):
+            raise ValueError(
+                f"{self.label}: split index {index} out of range"
+            )
+        tail = BasicBlock(new_label, self.instructions[index:])
+        del self.instructions[index:]
+        return tail
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __str__(self) -> str:
+        body = "\n".join(f"  {i}" for i in self.instructions)
+        return f"{self.label}:\n{body}"

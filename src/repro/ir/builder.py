@@ -1,0 +1,134 @@
+"""Fluent construction DSL for kernels.
+
+:class:`KernelBuilder` is how examples, tests, and the synthetic workload
+generator assemble kernels without touching IR plumbing directly::
+
+    kernel = (
+        KernelBuilder("saxpy")
+        .block("entry")
+        .alu(0, 1, 2)                       # r0 = r1 + r2
+        .load(3, stream=0, footprint=1 << 20)
+        .fma(4, 3, 0, 4)
+        .store(4, stream=1, footprint=1 << 20)
+        .block("loop")
+        .alu(5, 5, 0)
+        .branch("loop", trip_count=16)
+        .block("done")
+        .exit()
+        .build()
+    )
+
+Blocks are laid out in declaration order, so a block without a terminator
+falls through to the next declared block, exactly like assembly text.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.basic_block import BasicBlock
+from repro.ir.cfg import CFG
+from repro.ir.instruction import Instruction, MemorySpec, Opcode
+from repro.ir.kernel import Kernel
+
+
+class KernelBuilder:
+    """Incrementally builds a :class:`~repro.ir.kernel.Kernel`."""
+
+    def __init__(self, name: str, category: str = "register-sensitive",
+                 threads_per_block: int = 256) -> None:
+        self._name = name
+        self._category = category
+        self._threads_per_block = threads_per_block
+        self._cfg = CFG()
+        self._current: Optional[BasicBlock] = None
+
+    # -- structure -----------------------------------------------------------
+
+    def block(self, label: str) -> "KernelBuilder":
+        """Start a new basic block; it becomes the append target."""
+        new_block = BasicBlock(label)
+        self._cfg.add_block(new_block)
+        self._current = new_block
+        return self
+
+    def emit(self, instruction: Instruction) -> "KernelBuilder":
+        if self._current is None:
+            raise ValueError("emit before any block() call")
+        self._current.append(instruction)
+        return self
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def alu(self, dst: int, *srcs: int, op: Opcode = Opcode.IADD) -> "KernelBuilder":
+        """Short-latency integer op writing ``dst`` from ``srcs``."""
+        return self.emit(Instruction(op, dsts=(dst,), srcs=tuple(srcs)))
+
+    def mov(self, dst: int, src: int) -> "KernelBuilder":
+        return self.emit(Instruction(Opcode.MOV, dsts=(dst,), srcs=(src,)))
+
+    def fadd(self, dst: int, a: int, b: int) -> "KernelBuilder":
+        return self.emit(Instruction(Opcode.FADD, dsts=(dst,), srcs=(a, b)))
+
+    def fmul(self, dst: int, a: int, b: int) -> "KernelBuilder":
+        return self.emit(Instruction(Opcode.FMUL, dsts=(dst,), srcs=(a, b)))
+
+    def fma(self, dst: int, a: int, b: int, c: int) -> "KernelBuilder":
+        return self.emit(Instruction(Opcode.FFMA, dsts=(dst,), srcs=(a, b, c)))
+
+    def sfu(self, dst: int, src: int) -> "KernelBuilder":
+        return self.emit(Instruction(Opcode.SFU, dsts=(dst,), srcs=(src,)))
+
+    # -- memory ---------------------------------------------------------------
+
+    def load(self, dst: int, *, addr: Optional[int] = None, stream: int = 0,
+             footprint: int = 1 << 20, stride: int = 128,
+             shared: bool = False) -> "KernelBuilder":
+        """Load into ``dst``; ``addr`` optionally names the address register."""
+        opcode = Opcode.LD_SHARED if shared else Opcode.LD_GLOBAL
+        srcs = (addr,) if addr is not None else ()
+        spec = MemorySpec(stream, footprint, stride)
+        return self.emit(Instruction(opcode, dsts=(dst,), srcs=srcs, mem=spec))
+
+    def store(self, src: int, *, addr: Optional[int] = None, stream: int = 0,
+              footprint: int = 1 << 20, stride: int = 128,
+              shared: bool = False) -> "KernelBuilder":
+        opcode = Opcode.ST_SHARED if shared else Opcode.ST_GLOBAL
+        srcs = (src, addr) if addr is not None else (src,)
+        spec = MemorySpec(stream, footprint, stride)
+        return self.emit(Instruction(opcode, srcs=srcs, mem=spec))
+
+    # -- control flow -----------------------------------------------------------
+
+    def branch(self, target: str, *, trip_count: Optional[int] = None,
+               taken_probability: Optional[float] = None,
+               srcs: Sequence[int] = ()) -> "KernelBuilder":
+        """Conditional branch to ``target`` (falls through otherwise).
+
+        Provide exactly one of ``trip_count`` (loop-style) or
+        ``taken_probability`` (data-dependent).
+        """
+        if (trip_count is None) == (taken_probability is None):
+            raise ValueError(
+                "branch() needs exactly one of trip_count / taken_probability"
+            )
+        return self.emit(Instruction(
+            Opcode.BRA, srcs=tuple(srcs), target=target,
+            trip_count=trip_count, taken_probability=taken_probability,
+        ))
+
+    def jump(self, target: str) -> "KernelBuilder":
+        """Unconditional branch."""
+        return self.emit(Instruction(Opcode.BRA, target=target))
+
+    def exit(self) -> "KernelBuilder":
+        return self.emit(Instruction(Opcode.EXIT))
+
+    # -- finish ---------------------------------------------------------------
+
+    def build(self) -> Kernel:
+        """Validate and return the finished kernel."""
+        return Kernel(
+            self._name, self._cfg, category=self._category,
+            threads_per_block=self._threads_per_block,
+        )

@@ -1,0 +1,206 @@
+"""Kernels: a CFG plus metadata, and dynamic-trace generation.
+
+A :class:`Kernel` is what the compiler passes consume and what warps
+execute.  Because our simulator is trace-driven (see DESIGN.md), the
+kernel knows how to unroll itself into a *dynamic instruction trace* for
+one warp: branches are resolved using their behavioural metadata
+(``trip_count`` for loop branches, ``taken_probability`` for
+data-dependent ones, resolved with a per-warp seeded RNG so runs are
+deterministic), and memory instructions are assigned concrete byte
+addresses from their synthetic :class:`~repro.ir.instruction.MemorySpec`
+streams.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.ir.cfg import CFG
+from repro.ir.instruction import Instruction, Opcode
+
+#: Default safety cap on dynamic trace length per warp.
+DEFAULT_MAX_TRACE = 200_000
+
+#: Address-space spacing between synthetic memory streams.
+_STREAM_SPACING = 1 << 26
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One dynamic instruction: where it came from and what it does.
+
+    ``address`` is the concrete byte address for memory operations
+    (``None`` otherwise).  ``taken`` records the resolved direction for
+    conditional branches so downstream consumers (e.g. the optimal
+    interval-length analysis for Table 4) can replay control flow.
+    """
+
+    block: str
+    index: int
+    instruction: Instruction
+    address: Optional[int] = None
+    taken: Optional[bool] = None
+
+
+class Kernel:
+    """A compiled GPU kernel: CFG + register demand + behaviour metadata."""
+
+    def __init__(
+        self,
+        name: str,
+        cfg: CFG,
+        category: str = "register-sensitive",
+        threads_per_block: int = 256,
+    ) -> None:
+        if category not in ("register-sensitive", "register-insensitive"):
+            raise ValueError(f"unknown workload category {category!r}")
+        cfg.validate()
+        self.name = name
+        self.cfg = cfg
+        self.category = category
+        self.threads_per_block = threads_per_block
+
+    def clone(self) -> "Kernel":
+        """Deep-copy this kernel.
+
+        Compiler passes mutate CFGs in place (block splitting, PREFETCH
+        insertion), so every compilation starts from a private copy.
+        """
+        return copy.deepcopy(self)
+
+    # -- static properties --------------------------------------------------
+
+    @property
+    def register_count(self) -> int:
+        """Per-thread architectural register demand (max id + 1)."""
+        used = self.registers_used()
+        return max(used) + 1 if used else 0
+
+    def registers_used(self) -> frozenset:
+        used: set = set()
+        for block in self.cfg.blocks():
+            used |= block.registers()
+        return frozenset(used)
+
+    @property
+    def static_instruction_count(self) -> int:
+        return sum(len(block) for block in self.cfg.blocks())
+
+    def static_instructions(self) -> Iterator[Tuple[str, int, Instruction]]:
+        """Yield ``(block_label, index, instruction)`` in layout order."""
+        for block in self.cfg.blocks():
+            for index, instruction in enumerate(block.instructions):
+                yield block.label, index, instruction
+
+    # -- dynamic trace -----------------------------------------------------
+
+    def trace(
+        self,
+        warp_id: int = 0,
+        seed: int = 0,
+        max_instructions: int = DEFAULT_MAX_TRACE,
+    ) -> Iterator[TraceEntry]:
+        """Generate the dynamic instruction stream for one warp.
+
+        Control flow is resolved deterministically from ``seed`` and
+        ``warp_id``; two calls with the same arguments produce identical
+        traces.  Raises ``RuntimeError`` if the trace exceeds
+        ``max_instructions`` without reaching ``EXIT`` (a malformed
+        kernel with an unbounded loop).
+        """
+        rng = random.Random((seed << 20) ^ (warp_id * 0x9E3779B9))
+        loop_remaining: Dict[str, int] = {}
+        stream_position: Dict[int, int] = {}
+        label = self.cfg.entry
+        emitted = 0
+        while True:
+            block = self.cfg.block(label)
+            next_label: Optional[str] = None
+            for index, instruction in enumerate(block.instructions):
+                if emitted >= max_instructions:
+                    raise RuntimeError(
+                        f"{self.name}: trace exceeded {max_instructions} "
+                        "instructions without EXIT"
+                    )
+                address = None
+                taken = None
+                if instruction.is_memory:
+                    address = self._next_address(
+                        instruction, warp_id, stream_position
+                    )
+                if instruction.opcode is Opcode.EXIT:
+                    yield TraceEntry(block.label, index, instruction)
+                    return
+                if instruction.is_branch:
+                    taken = self._resolve_branch(
+                        block.label, instruction, loop_remaining, rng
+                    )
+                    if taken:
+                        next_label = instruction.target
+                    elif not instruction.is_conditional:
+                        # Unconditional branches are always taken.
+                        next_label = instruction.target
+                        taken = True
+                yield TraceEntry(block.label, index, instruction, address, taken)
+                emitted += 1
+            if next_label is None:
+                next_label = self.cfg.layout_successor(block.label)
+                if next_label is None:
+                    raise RuntimeError(
+                        f"{self.name}: fell off the end of block {block.label}"
+                    )
+            label = next_label
+
+    def _resolve_branch(
+        self,
+        block_label: str,
+        instruction: Instruction,
+        loop_remaining: Dict[str, int],
+        rng: random.Random,
+    ) -> bool:
+        if not instruction.is_conditional:
+            return True
+        if instruction.trip_count is not None:
+            # Loop-style branch: taken trip_count - 1 times per loop entry.
+            if block_label not in loop_remaining:
+                loop_remaining[block_label] = instruction.trip_count - 1
+            if loop_remaining[block_label] > 0:
+                loop_remaining[block_label] -= 1
+                return True
+            del loop_remaining[block_label]   # reset for the next loop entry
+            return False
+        assert instruction.taken_probability is not None
+        return rng.random() < instruction.taken_probability
+
+    def _next_address(
+        self,
+        instruction: Instruction,
+        warp_id: int,
+        stream_position: Dict[int, int],
+    ) -> int:
+        spec = instruction.mem
+        assert spec is not None
+        position = stream_position.get(spec.stream, 0)
+        stream_position[spec.stream] = position + 1
+        # Warps walk disjoint windows of a shared footprint, mimicking
+        # coalesced blocked access to one array.
+        warp_offset = (warp_id * 4096) % spec.footprint_bytes
+        offset = (warp_offset + position * spec.stride_bytes) % spec.footprint_bytes
+        return spec.stream * _STREAM_SPACING + offset
+
+    def trace_list(self, warp_id: int = 0, seed: int = 0,
+                   max_instructions: int = DEFAULT_MAX_TRACE):
+        """Materialise :meth:`trace` as a list (convenience for analyses)."""
+        return list(self.trace(warp_id, seed, max_instructions))
+
+    def dynamic_instruction_count(self, warp_id: int = 0, seed: int = 0) -> int:
+        return sum(1 for _ in self.trace(warp_id, seed))
+
+    def __repr__(self) -> str:
+        return (
+            f"Kernel({self.name!r}, blocks={len(self.cfg)}, "
+            f"regs={self.register_count}, category={self.category!r})"
+        )

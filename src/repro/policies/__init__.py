@@ -1,0 +1,63 @@
+"""Register-file management policies: the paper's comparison points.
+
+========  =========================================================
+Name      Design
+========  =========================================================
+BL        conventional non-cached register file
+Ideal     BL with a zero-latency-overhead MRF (upper bound)
+RFC       hardware register cache, LRU, no prefetch (Gebhart ISCA'11)
+SHRF      strand-scoped compile-time managed cache (Gebhart MICRO'11)
+LTRF      register-interval prefetching (this paper)
+LTRF+     LTRF with operand-liveness awareness (this paper)
+========  =========================================================
+
+plus two ablation variants: ``LTRF-strand`` (LTRF hardware on strand
+regions, Figure 14) and ``LTRF-pass1`` (Algorithm 2 disabled).
+"""
+
+from repro.policies.base import RegisterPolicy
+from repro.policies.baseline import BaselinePolicy, IdealPolicy
+from repro.policies.ltrf import LTRFPass1Policy, LTRFPolicy, LTRFStrandPolicy
+from repro.policies.ltrf_plus import LTRFPlusPolicy
+from repro.policies.rfc import RFCPolicy
+from repro.policies.shrf import SHRFPolicy
+
+#: Policies by display name (the names used throughout the paper).
+POLICIES = {
+    policy.name: policy
+    for policy in (
+        BaselinePolicy,
+        IdealPolicy,
+        RFCPolicy,
+        SHRFPolicy,
+        LTRFPolicy,
+        LTRFPlusPolicy,
+        LTRFStrandPolicy,
+        LTRFPass1Policy,
+    )
+}
+
+
+def policy_by_name(name: str):
+    """Look up a policy class by its paper name (e.g. ``"LTRF+"``)."""
+    try:
+        return POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {name!r}; available: {sorted(POLICIES)}"
+        ) from None
+
+
+__all__ = [
+    "BaselinePolicy",
+    "IdealPolicy",
+    "LTRFPass1Policy",
+    "LTRFPlusPolicy",
+    "LTRFPolicy",
+    "LTRFStrandPolicy",
+    "POLICIES",
+    "RFCPolicy",
+    "RegisterPolicy",
+    "SHRFPolicy",
+    "policy_by_name",
+]

@@ -1,0 +1,201 @@
+"""LTRF: register-interval prefetching (the paper's contribution).
+
+The policy executes kernels compiled by :func:`repro.compiler.compile_kernel`:
+a PREFETCH at each region header names the region's register working set.
+Executing the PREFETCH:
+
+1. writes back and evicts cached registers that left the working set
+   (dirty ones go to the MRF);
+2. allocates partition slots for the new working set;
+3. bulk-reads the missing registers from the MRF (bank conflicts and the
+   narrow crossbar included) -- registers whose WCB valid bits are
+   already set are skipped, so a loop iterating inside one interval
+   re-executes its PREFETCH for free;
+4. blocks *only this warp* until the transfer completes; other active
+   warps keep issuing, which is how the prefetch latency is hidden.
+
+All operand reads then hit the RFC by construction (the region working
+set is an over-approximation of every register the region can touch).
+
+On deactivation the warp's cached working set is written back and the
+partition released; on activation it is refetched (charged as activation
+latency, again overlapped with other warps).  ``LTRFPolicy`` moves the
+full working set; :class:`repro.policies.ltrf_plus.LTRFPlusPolicy`
+refines this with liveness.
+
+``LTRFStrandPolicy`` is the Figure 14 comparison point: the same
+hardware mechanism driven by strand regions instead of register-
+intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from repro.arch.warp import Warp
+from repro.compiler.pipeline import compile_kernel
+from repro.ir.instruction import Instruction
+from repro.ir.kernel import Kernel
+from repro.policies.base import RegisterPolicy
+
+
+class LTRFPolicy(RegisterPolicy):
+    """Software-prefetched, partitioned register file cache."""
+
+    name = "LTRF"
+    region_kind = "register-interval"
+    uses_narrow_crossbar = True
+    #: Pass-2 ablation switch (register-intervals only).
+    run_pass2 = True
+
+    def __init__(self, config, mrf, rfc) -> None:
+        super().__init__(config, mrf, rfc)
+        self._prefetch_registers_moved = 0
+        self._prefetch_operations = 0
+
+    # -- kernel preparation -----------------------------------------------------
+
+    def executable_kernel(self, kernel: Kernel) -> Kernel:
+        compiled = compile_kernel(
+            kernel,
+            region_kind=self.region_kind,
+            max_registers=self.config.regs_per_interval,
+            run_pass2=self.run_pass2,
+        )
+        return compiled.kernel
+
+    # -- PREFETCH execution --------------------------------------------------------
+
+    def prefetch(self, warp: Warp, instruction: Instruction,
+                 cycle: int) -> int:
+        wcb = warp.wcb
+        working_set = set(instruction.prefetch_registers())
+        self._prefetch_operations += 1
+
+        self._evict_departed(warp, working_set, cycle)
+        to_fetch = self._registers_to_fetch(warp, working_set)
+        for register in working_set:
+            self.rfc.allocate_register(wcb, register)
+        wcb.working_set = working_set
+
+        completion = cycle + 1
+        if to_fetch:
+            completion = self.mrf.bulk_read(
+                warp.warp_id, sorted(to_fetch), cycle
+            )
+            for register in to_fetch:
+                self.rfc.fill(wcb, register)
+            self._prefetch_registers_moved += len(to_fetch)
+        # Registers not fetched (already valid, or provably dead) only
+        # need space; mark them usable so subsequent writes allocate.
+        for register in working_set - wcb.valid:
+            wcb.valid.add(register)
+        return completion
+
+    def _registers_to_fetch(self, warp: Warp, working_set: Set[int]) -> Set[int]:
+        """Working-set registers whose value must come from the MRF."""
+        return working_set - warp.wcb.valid
+
+    def _writeback_filter(self, warp: Warp,
+                          registers: Iterable[int]) -> Set[int]:
+        """Registers among ``registers`` that must reach the MRF."""
+        return set(registers)
+
+    def _evict_departed(self, warp: Warp, working_set: Set[int],
+                        cycle: int) -> None:
+        wcb = warp.wcb
+        departed = set(wcb.address_table) - working_set
+        if not departed:
+            return
+        dirty = self._writeback_filter(warp, wcb.dirty & departed)
+        if dirty:
+            self.mrf.bulk_write(warp.warp_id, sorted(dirty), cycle)
+            self.rfc.note_writeback(len(dirty))
+        for register in departed:
+            self.rfc.evict_register(wcb, register)
+
+    # -- operand path -----------------------------------------------------------
+
+    def operand_read_latency(self, warp: Warp, instruction: Instruction,
+                             cycle: int) -> int:
+        wcb = warp.wcb
+        ready = cycle
+        for src in instruction.srcs:
+            if not wcb.cached(src):
+                raise RuntimeError(
+                    f"LTRF invariant violated: warp {warp.warp_id} read "
+                    f"r{src} outside its prefetched working set"
+                )
+            self.rfc.stats.read_hits += 1
+            ready = max(ready, self.rfc.read(wcb, src, cycle))
+        latency = ready - cycle
+        if instruction.srcs:
+            latency += self._operand_port_penalty(instruction)
+        wcb.note_dead_operands(instruction.dead_srcs)
+        return latency
+
+    def result_write(self, warp: Warp, instruction: Instruction,
+                     cycle: int, to_mrf: bool = False) -> None:
+        wcb = warp.wcb
+        for dst in instruction.dsts:
+            wcb.note_write(dst)
+            if to_mrf:
+                self.mrf.write(warp.warp_id, dst, cycle)
+                continue
+            if dst not in wcb.address_table:
+                self.rfc.allocate_register(wcb, dst)
+            self.rfc.write(wcb, dst, cycle)
+
+    # -- scheduler hooks -----------------------------------------------------------
+
+    def activate(self, warp: Warp, cycle: int) -> int:
+        wcb = warp.wcb
+        self.rfc.acquire_partition(wcb)
+        refetch = self._writeback_filter(warp, wcb.working_set)
+        refetch = self._registers_to_fetch(warp, set(refetch))
+        for register in wcb.working_set:
+            self.rfc.allocate_register(wcb, register)
+            wcb.valid.add(register)
+        if not refetch:
+            return 0
+        completion = self.mrf.bulk_read(warp.warp_id, sorted(refetch), cycle)
+        for register in refetch:
+            self.rfc.fill(wcb, register)
+            wcb.valid.add(register)
+        self._prefetch_registers_moved += len(refetch)
+        return completion - cycle
+
+    def deactivate(self, warp: Warp, cycle: int) -> None:
+        wcb = warp.wcb
+        cached = set(wcb.address_table)
+        writeback = self._writeback_filter(warp, wcb.dirty & cached)
+        if writeback:
+            self.mrf.bulk_write(warp.warp_id, sorted(writeback), cycle)
+            self.rfc.note_writeback(len(writeback))
+        self.rfc.release_partition(wcb)
+
+    def finish(self, warp: Warp, cycle: int) -> None:
+        if warp.wcb.warp_offset is not None:
+            self.rfc.release_partition(warp.wcb)
+
+    # -- reporting ------------------------------------------------------------------
+
+    def extra_stats(self) -> dict:
+        return {
+            "prefetch_registers_moved": self._prefetch_registers_moved,
+            "prefetch_operations_executed": self._prefetch_operations,
+        }
+
+
+class LTRFStrandPolicy(LTRFPolicy):
+    """LTRF hardware driven by strand regions (Figure 14's LTRF-strand)."""
+
+    name = "LTRF-strand"
+    region_kind = "strand"
+
+
+class LTRFPass1Policy(LTRFPolicy):
+    """Ablation: register-intervals without Algorithm 2's merging."""
+
+    name = "LTRF-pass1"
+    run_pass2 = False

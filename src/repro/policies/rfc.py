@@ -1,0 +1,111 @@
+"""RFC: the hardware register file cache (Gebhart et al., ISCA'11).
+
+A conventional cache in front of the MRF.  Following Gebhart's design,
+the 16KB cache is sliced evenly across every *resident* warp (so each
+warp owns only a handful of entries -- two at full 64-warp occupancy):
+produced values are allocated on write (the design caches results
+flowing out of the execution units), reads that miss go straight to the
+MRF without allocating, per-slice LRU replacement.  No prefetching --
+every miss exposes the full MRF latency to the pipeline.
+
+The paper's Section 2.3 explains why this caches poorly (Figure 4's
+8-30% hit rates), and this model reproduces all three reasons:
+
+1. the cache must be provisioned across all resident warps, so each
+   warp's share is tiny (the shared-structure displacement problem --
+   unlike LTRF, which only provisions the 8 active warps);
+2. register values have short temporal locality: a consumer more than a
+   few writes behind the producer finds the value displaced;
+3. there is no spatial locality to exploit (one register per entry).
+
+Dirty victims are written back on eviction.  A deactivating warp's
+in-flight results land in the MRF (inactive warps keep live state
+there); its cached entries stay until displaced by its own writes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict
+
+from repro.arch.warp import Warp
+from repro.ir.instruction import Instruction
+from repro.policies.base import RegisterPolicy
+
+
+class RFCPolicy(RegisterPolicy):
+    """Hardware register cache with per-resident-warp LRU slices."""
+
+    name = "RFC"
+
+    def __init__(self, config, mrf, rfc) -> None:
+        super().__init__(config, mrf, rfc)
+        total = config.active_warps * config.regs_per_interval
+        self._total_entries = total
+        # The slicing is a hardware structure: it must be provisioned
+        # for the maximum warp count, not the occupancy of one kernel
+        # (16KB / 64 warps = 2 warp-registers per slice).
+        self.slice_capacity = max(1, total // config.max_resident_warps)
+        #: warp_id -> (register -> dirty flag, LRU order, oldest first).
+        self._slices: Dict[int, "OrderedDict[int, bool]"] = {}
+
+    def _slice(self, warp_id: int) -> "OrderedDict[int, bool]":
+        if warp_id not in self._slices:
+            self._slices[warp_id] = OrderedDict()
+        return self._slices[warp_id]
+
+    # -- operand path ----------------------------------------------------------
+
+    def operand_read_latency(self, warp: Warp, instruction: Instruction,
+                             cycle: int) -> int:
+        entries = self._slice(warp.warp_id)
+        ready = cycle
+        for src in instruction.srcs:
+            if src in entries:
+                self.rfc.stats.read_hits += 1
+                self.rfc.stats.reads += 1
+                entries.move_to_end(src)
+                ready = max(ready, cycle + self.config.rfc_latency)
+            else:
+                # Miss: read the MRF; do not allocate (read-no-allocate).
+                self.rfc.stats.read_misses += 1
+                ready = max(ready, self.mrf.read(warp.warp_id, src, cycle))
+        return ready - cycle
+
+    def result_write(self, warp: Warp, instruction: Instruction,
+                     cycle: int, to_mrf: bool = False) -> None:
+        for dst in instruction.dsts:
+            if to_mrf:
+                # The warp is being deactivated: the in-flight result
+                # lands in the MRF, where inactive warps keep live state.
+                self.mrf.write(warp.warp_id, dst, cycle)
+                continue
+            self.rfc.stats.writes += 1
+            self._install(warp.warp_id, dst, cycle)
+
+    # -- cache management --------------------------------------------------------
+
+    def _install(self, warp_id: int, register: int, cycle: int) -> None:
+        entries = self._slice(warp_id)
+        if register in entries:
+            entries[register] = True
+            entries.move_to_end(register)
+            return
+        if len(entries) >= self.slice_capacity:
+            victim, victim_dirty = entries.popitem(last=False)
+            if victim_dirty:
+                self.mrf.write(warp_id, victim, cycle)
+                self.rfc.note_writeback()
+        entries[register] = True
+
+    # -- scheduler hooks ------------------------------------------------------------
+
+    def finish(self, warp: Warp, cycle: int) -> None:
+        """Drain the retired warp's dirty results to the MRF."""
+        entries = self._slices.pop(warp.warp_id, None)
+        if not entries:
+            return
+        dirty = [register for register, is_dirty in entries.items() if is_dirty]
+        if dirty:
+            self.mrf.bulk_write(warp.warp_id, dirty, cycle)
+            self.rfc.note_writeback(len(dirty))

@@ -1,0 +1,44 @@
+"""Power and technology modelling: Table 2 data, analytic CACTI-style
+scaling, and the access-count energy model behind Figure 10."""
+
+from repro.power.cacti import (
+    access_energy,
+    bank_latency,
+    design_area,
+    design_latency,
+    design_leakage,
+    network_latency,
+)
+from repro.power.energy import (
+    PowerBreakdown,
+    normalized_power,
+    run_power,
+)
+from repro.power.tech import (
+    TABLE2,
+    TECHNOLOGIES,
+    CellTechnology,
+    RegisterFileDesign,
+    capacity_table,
+    design,
+    gpu_config_for,
+)
+
+__all__ = [
+    "CellTechnology",
+    "PowerBreakdown",
+    "RegisterFileDesign",
+    "TABLE2",
+    "TECHNOLOGIES",
+    "access_energy",
+    "bank_latency",
+    "capacity_table",
+    "design",
+    "design_area",
+    "design_latency",
+    "design_leakage",
+    "gpu_config_for",
+    "network_latency",
+    "normalized_power",
+    "run_power",
+]

@@ -1,0 +1,29 @@
+"""Synthetic workload suites standing in for CUDA SDK / Rodinia / Parboil."""
+
+from repro.workloads.generator import WorkloadSpec, build_kernel, dynamic_length
+from repro.workloads.suites import (
+    EVALUATION,
+    EVALUATION_INSENSITIVE,
+    EVALUATION_SENSITIVE,
+    SUITE,
+    evaluation_kernels,
+    get_kernel,
+    get_spec,
+    suite_kernels,
+    workload_names,
+)
+
+__all__ = [
+    "EVALUATION",
+    "EVALUATION_INSENSITIVE",
+    "EVALUATION_SENSITIVE",
+    "SUITE",
+    "WorkloadSpec",
+    "build_kernel",
+    "dynamic_length",
+    "evaluation_kernels",
+    "get_kernel",
+    "get_spec",
+    "suite_kernels",
+    "workload_names",
+]

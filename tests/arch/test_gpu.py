@@ -1,0 +1,48 @@
+"""Tests for the multi-SM wrapper."""
+
+import pytest
+
+from repro.arch import GPU, GPUConfig
+from repro.ir import KernelBuilder
+from repro.policies import POLICIES
+
+
+def tiny_kernel():
+    return (
+        KernelBuilder("tiny")
+        .block("entry").alu(0, 1)
+        .block("loop").fma(2, 0, 1, 2).branch("loop", trip_count=4)
+        .block("end").exit()
+        .build()
+    )
+
+
+def test_rejects_zero_sms():
+    with pytest.raises(ValueError):
+        GPU(GPUConfig(), POLICIES["BL"], num_sms=0)
+
+
+def test_aggregates_across_sms():
+    config = GPUConfig(max_resident_warps=4, active_warps=4)
+    gpu = GPU(config, POLICIES["BL"], num_sms=3)
+    result = gpu.run(tiny_kernel())
+    assert len(result.per_sm) == 3
+    assert result.instructions == sum(r.instructions for r in result.per_sm)
+    assert result.cycles == max(r.cycles for r in result.per_sm)
+    assert result.ipc > 0
+    assert result.mean_sm_ipc > 0
+
+
+def test_sms_use_distinct_seeds():
+    config = GPUConfig(max_resident_warps=4, active_warps=4)
+    gpu = GPU(config, POLICIES["BL"], num_sms=2)
+    kernel = (
+        KernelBuilder("prob")
+        .block("entry").alu(0, 1)
+        .block("loop").alu(1, 1).branch("loop", taken_probability=0.6)
+        .block("end").exit()
+        .build()
+    )
+    result = gpu.run(kernel)
+    counts = {r.instructions for r in result.per_sm}
+    assert len(counts) > 1

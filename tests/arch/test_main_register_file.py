@@ -1,0 +1,119 @@
+"""Tests for the banked MRF timing model and the bank calendar."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import GPUConfig, MainRegisterFile
+from repro.arch.main_register_file import BankCalendar
+
+
+class TestBankCalendar:
+    def test_empty_calendar_serves_immediately(self):
+        calendar = BankCalendar()
+        assert calendar.reserve(10, 3) == 10
+
+    def test_back_to_back_reservations_queue(self):
+        calendar = BankCalendar()
+        assert calendar.reserve(0, 3) == 0
+        assert calendar.reserve(0, 3) == 3
+        assert calendar.reserve(0, 3) == 6
+
+    def test_gap_before_future_reservation_is_usable(self):
+        """The bug this model exists to avoid: a future reservation must
+        not block earlier accesses that fit before it."""
+        calendar = BankCalendar()
+        assert calendar.reserve(400, 3) == 400      # far-future write
+        assert calendar.reserve(10, 3) == 10        # fits in the gap
+
+    def test_too_small_gap_is_skipped(self):
+        calendar = BankCalendar()
+        calendar.reserve(10, 5)       # occupies [10, 15)
+        calendar.reserve(17, 5)       # occupies [17, 22)
+        # A 5-cycle job at 12 does not fit in [15, 17): lands at 22.
+        assert calendar.reserve(12, 5) == 22
+
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=500),
+                  st.integers(min_value=1, max_value=20)),
+        min_size=1, max_size=60,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_reservations_never_overlap(self, jobs):
+        calendar = BankCalendar()
+        placed = []
+        for cycle, duration in jobs:
+            start = calendar.reserve(cycle, duration)
+            assert start >= cycle
+            placed.append((start, start + duration))
+        placed.sort()
+        for (s1, e1), (s2, e2) in zip(placed, placed[1:]):
+            assert e1 <= s2
+
+
+class TestMainRegisterFile:
+    def test_read_latency_baseline(self):
+        config = GPUConfig()
+        mrf = MainRegisterFile(config)
+        arrival = mrf.read(0, 0, 100)
+        assert arrival == 100 + config.mrf_bank_latency + config.mrf_transfer_latency
+
+    def test_latency_multiple_slows_reads(self):
+        fast = MainRegisterFile(GPUConfig())
+        slow = MainRegisterFile(GPUConfig(mrf_latency_multiple=6.3))
+        assert slow.read(0, 0, 0) > fast.read(0, 0, 0)
+
+    def test_bank_interleaving(self):
+        mrf = MainRegisterFile(GPUConfig())
+        banks = {mrf.bank_of(0, r) for r in range(16)}
+        assert len(banks) == 16
+
+    def test_same_bank_conflicts_serialize_when_non_pipelined(self):
+        config = GPUConfig(mrf_latency_multiple=6.3)
+        mrf = MainRegisterFile(config)
+        first = mrf.read(0, 0, 0)
+        second = mrf.read(0, 16, 0)       # same bank (16 banks)
+        assert second >= first            # queued behind
+
+    def test_pipelined_baseline_overlaps_same_bank(self):
+        mrf = MainRegisterFile(GPUConfig())   # occupancy 1 at baseline
+        first = mrf.read(0, 0, 0)
+        second = mrf.read(0, 16, 0)
+        assert second == first + 1
+
+    def test_access_counting(self):
+        mrf = MainRegisterFile(GPUConfig())
+        mrf.read(0, 1, 0)
+        mrf.write(0, 2, 0)
+        assert mrf.stats.reads == 1
+        assert mrf.stats.writes == 1
+        assert mrf.stats.accesses == 2
+
+
+class TestBulkTransfers:
+    def test_bulk_read_empty_is_free(self):
+        mrf = MainRegisterFile(GPUConfig())
+        assert mrf.bulk_read(0, [], 50) == 50
+
+    def test_bulk_read_counts_all_registers(self):
+        mrf = MainRegisterFile(GPUConfig())
+        mrf.bulk_read(0, range(16), 0)
+        assert mrf.stats.reads == 16
+
+    def test_bulk_read_parallel_across_banks(self):
+        """16 registers over 16 banks: dominated by one access + transfer."""
+        config = GPUConfig()
+        mrf = MainRegisterFile(config)
+        done = mrf.bulk_read(0, range(16), 0)
+        single = config.mrf_bank_latency + config.mrf_transfer_latency
+        assert done <= single + 2    # + crossbar streaming
+
+    def test_narrow_crossbar_slows_bulk_read(self):
+        wide = MainRegisterFile(GPUConfig())
+        narrow = MainRegisterFile(GPUConfig(narrow_crossbar=True))
+        assert narrow.bulk_read(0, range(16), 0) > wide.bulk_read(0, range(16), 0)
+
+    def test_bulk_write_returns_settle_cycle(self):
+        mrf = MainRegisterFile(GPUConfig())
+        done = mrf.bulk_write(0, [0, 1, 2], 10)
+        assert done > 10
+        assert mrf.stats.writes == 3

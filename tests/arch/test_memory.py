@@ -1,0 +1,87 @@
+"""Tests for the memory hierarchy model."""
+
+from repro.arch import MemoryConfig, MemoryHierarchy
+
+
+def hierarchy(**overrides):
+    return MemoryHierarchy(MemoryConfig(**overrides))
+
+
+class TestL1Behaviour:
+    def test_first_access_misses(self):
+        mem = hierarchy()
+        result = mem.access(0, 0)
+        assert not result.is_l1_hit
+        assert mem.stats.l1_misses == 1
+
+    def test_second_access_hits(self):
+        mem = hierarchy()
+        mem.access(0, 0)
+        result = mem.access(0, 100)
+        assert result.is_l1_hit
+        assert result.ready_cycle == 100 + mem.config.l1_latency
+
+    def test_same_line_hits(self):
+        mem = hierarchy()
+        mem.access(0, 0)
+        assert mem.access(64, 100).is_l1_hit     # same 128B line
+
+    def test_streaming_misses_every_line(self):
+        mem = hierarchy()
+        results = [mem.access(a, 0) for a in range(0, 1 << 20, 128)]
+        assert not any(r.is_l1_hit for r in results)
+
+    def test_small_footprint_loops_hit(self):
+        mem = hierarchy()
+        footprint = 8 * 1024
+        for address in range(0, footprint, 128):
+            mem.access(address, 0)
+        second_pass = [
+            mem.access(address, 0) for address in range(0, footprint, 128)
+        ]
+        assert all(r.is_l1_hit for r in second_pass)
+
+    def test_lru_eviction_within_set(self):
+        # Map ways+1 lines to one set: they must evict each other.
+        mem = hierarchy()
+        sets = mem.l1.sets
+        line = mem.config.line_bytes
+        ways = mem.config.l1_ways
+        addresses = [i * sets * line for i in range(ways + 1)]
+        for address in addresses:
+            mem.access(address, 0)
+        assert not mem.access(addresses[0], 0).is_l1_hit
+
+
+class TestHierarchyLatency:
+    def test_llc_hit_faster_than_dram(self):
+        mem = hierarchy()
+        first = mem.access(0, 0)                     # DRAM
+        mem_l1_evict = [                             # push line out of L1 only
+            mem.access(a, 0)
+            for a in range(1 << 14, (1 << 14) + mem.config.l1_size_bytes * 2, 128)
+        ]
+        second = mem.access(0, 1000)                 # should hit LLC
+        assert second.level == "llc"
+        assert second.ready_cycle - 1000 < first.ready_cycle - 0
+
+    def test_dram_latency_applied(self):
+        mem = hierarchy()
+        result = mem.access(0, 0)
+        assert result.level == "dram"
+        assert result.ready_cycle >= mem.config.dram_latency
+
+    def test_dram_bandwidth_queueing(self):
+        mem = hierarchy()
+        # Two simultaneous DRAM requests: the second is delayed by the
+        # service interval.
+        a = mem.access(0, 0)
+        b = mem.access(1 << 19, 0)
+        assert b.ready_cycle == a.ready_cycle + mem.config.dram_service_interval
+
+    def test_hit_rate_statistic(self):
+        mem = hierarchy()
+        mem.access(0, 0)
+        mem.access(0, 1)
+        mem.access(0, 2)
+        assert abs(mem.stats.l1_hit_rate - 2 / 3) < 1e-9

@@ -1,0 +1,160 @@
+"""Tests for the RFC partitions, address allocation, and the WCB."""
+
+import pytest
+
+from repro.arch import (
+    AddressAllocationUnit,
+    AllocationError,
+    GPUConfig,
+    RegisterFileCache,
+    WarpControlBlock,
+    wcb_storage_bits,
+)
+
+
+class TestAddressAllocationUnit:
+    def test_allocates_in_fifo_order(self):
+        unit = AddressAllocationUnit(4)
+        assert [unit.allocate() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_exhaustion_raises(self):
+        unit = AddressAllocationUnit(2)
+        unit.allocate()
+        unit.allocate()
+        with pytest.raises(AllocationError):
+            unit.allocate()
+
+    def test_release_recycles(self):
+        unit = AddressAllocationUnit(2)
+        slot = unit.allocate()
+        unit.allocate()
+        unit.release(slot)
+        assert unit.allocate() == slot
+
+    def test_double_free_rejected(self):
+        unit = AddressAllocationUnit(2)
+        slot = unit.allocate()
+        unit.release(slot)
+        with pytest.raises(AllocationError):
+            unit.release(slot)
+
+    def test_release_all(self):
+        unit = AddressAllocationUnit(3)
+        for _ in range(3):
+            unit.allocate()
+        unit.release_all()
+        assert unit.free_slots == 3 and unit.used_slots == 0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            AddressAllocationUnit(0)
+
+
+class TestWarpControlBlock:
+    def test_liveness_updates(self):
+        wcb = WarpControlBlock(0)
+        wcb.note_write(5)
+        assert 5 in wcb.live
+        wcb.note_dead_operands([5])
+        assert 5 not in wcb.live
+
+    def test_reset_partition_keeps_working_set_and_liveness(self):
+        wcb = WarpControlBlock(0)
+        wcb.working_set = {1, 2}
+        wcb.note_write(1)
+        wcb.address_table[1] = 0
+        wcb.valid.add(1)
+        wcb.dirty.add(1)
+        wcb.warp_offset = 3
+        wcb.reset_partition()
+        assert wcb.working_set == {1, 2}       # survives deactivation
+        assert wcb.live == {1}
+        assert not wcb.address_table and not wcb.valid and not wcb.dirty
+        assert wcb.warp_offset is None
+
+    def test_storage_bits_matches_paper(self):
+        """Section 4.3: 64 warps x 256 regs -> 114,880 bits."""
+        assert wcb_storage_bits(64, 256, 8) == 114880
+
+
+class TestRegisterFileCache:
+    def make(self, active_warps=2, regs=4):
+        return RegisterFileCache(
+            GPUConfig(active_warps=active_warps, regs_per_interval=regs,
+                      max_resident_warps=8)
+        )
+
+    def test_partition_lifecycle(self):
+        cache = self.make()
+        wcb = WarpControlBlock(0)
+        cache.acquire_partition(wcb)
+        assert wcb.warp_offset is not None
+        cache.release_partition(wcb)
+        assert wcb.warp_offset is None
+
+    def test_double_acquire_rejected(self):
+        cache = self.make()
+        wcb = WarpControlBlock(0)
+        cache.acquire_partition(wcb)
+        with pytest.raises(AllocationError):
+            cache.acquire_partition(wcb)
+
+    def test_release_without_partition_rejected(self):
+        cache = self.make()
+        with pytest.raises(AllocationError):
+            cache.release_partition(WarpControlBlock(0))
+
+    def test_partition_capacity_is_isolated(self):
+        """Two warps each get a full partition: no cross-warp eviction."""
+        cache = self.make(active_warps=2, regs=4)
+        a, b = WarpControlBlock(0), WarpControlBlock(1)
+        cache.acquire_partition(a)
+        cache.acquire_partition(b)
+        for register in range(4):
+            cache.allocate_register(a, register)
+            cache.allocate_register(b, register)
+        assert cache.partition_free_slots(a) == 0
+        assert cache.partition_free_slots(b) == 0
+
+    def test_partition_overflow_raises(self):
+        cache = self.make(regs=4)
+        wcb = WarpControlBlock(0)
+        cache.acquire_partition(wcb)
+        for register in range(4):
+            cache.allocate_register(wcb, register)
+        with pytest.raises(AllocationError):
+            cache.allocate_register(wcb, 99)
+
+    def test_evict_frees_slot(self):
+        cache = self.make(regs=4)
+        wcb = WarpControlBlock(0)
+        cache.acquire_partition(wcb)
+        cache.allocate_register(wcb, 7)
+        wcb.valid.add(7)
+        cache.evict_register(wcb, 7)
+        assert cache.partition_free_slots(wcb) == 4
+        assert 7 not in wcb.valid
+
+    def test_write_marks_dirty_and_valid(self):
+        cache = self.make()
+        wcb = WarpControlBlock(0)
+        cache.acquire_partition(wcb)
+        cache.allocate_register(wcb, 3)
+        cache.write(wcb, 3, 10)
+        assert 3 in wcb.dirty and 3 in wcb.valid
+
+    def test_fill_is_clean(self):
+        cache = self.make()
+        wcb = WarpControlBlock(0)
+        cache.acquire_partition(wcb)
+        cache.allocate_register(wcb, 3)
+        wcb.dirty.add(3)
+        cache.fill(wcb, 3)
+        assert 3 in wcb.valid and 3 not in wcb.dirty
+
+    def test_active_warp_limit(self):
+        cache = self.make(active_warps=2)
+        cache.acquire_partition(WarpControlBlock(0))
+        cache.acquire_partition(WarpControlBlock(1))
+        with pytest.raises(AllocationError):
+            cache.acquire_partition(WarpControlBlock(2))

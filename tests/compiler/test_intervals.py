@@ -1,0 +1,113 @@
+"""Tests for classic interval analysis."""
+
+from repro.compiler import (
+    derived_edges,
+    interval_partition,
+    is_reducible_by_intervals,
+)
+from repro.ir import BasicBlock, CFG, Instruction, KernelBuilder, Opcode
+
+
+def nested_loop_kernel():
+    """The paper's Figure 6 shape: A -> B -> C; C -> B (inner); C -> A (outer)."""
+    return (
+        KernelBuilder("fig6")
+        .block("A").alu(0, 0)
+        .block("B").alu(1, 1)
+        .block("C")
+        .alu(2, 2)
+        .branch("B", trip_count=3)
+        .block("C2")
+        .branch("A", trip_count=2)
+        .block("end").exit()
+        .build()
+    )
+
+
+class TestIntervalPartition:
+    def test_linear_cfg_single_interval(self):
+        kernel = (
+            KernelBuilder("lin")
+            .block("a").alu(0, 0)
+            .block("b").alu(1, 1)
+            .block("c").exit()
+            .build()
+        )
+        partition = interval_partition(kernel.cfg)
+        assert partition.region_count() == 1
+        assert partition.regions[0].blocks == frozenset({"a", "b", "c"})
+
+    def test_loop_header_starts_interval(self):
+        kernel = (
+            KernelBuilder("loop")
+            .block("pre").alu(0, 0)
+            .block("head")
+            .alu(1, 1)
+            .branch("head", trip_count=4)
+            .block("end").exit()
+            .build()
+        )
+        partition = interval_partition(kernel.cfg)
+        headers = partition.headers()
+        assert "head" in headers
+
+    def test_figure6_pass_structure(self):
+        # Classic intervals on Figure 6: A alone; B,C,C2 in the B-interval
+        # (inner loop); 'end' is absorbed where its preds allow.
+        partition = interval_partition(nested_loop_kernel().cfg)
+        a_region = partition.region_of("A")
+        b_region = partition.region_of("B")
+        assert a_region.id != b_region.id
+        assert {"B", "C", "C2"} <= set(b_region.blocks)
+
+    def test_partition_covers_all_blocks(self):
+        partition = interval_partition(nested_loop_kernel().cfg)
+        covered = set()
+        for region in partition.regions:
+            covered |= region.blocks
+        assert covered == set(nested_loop_kernel().cfg.labels())
+
+    def test_diamond_single_interval(self):
+        kernel = (
+            KernelBuilder("d")
+            .block("fork")
+            .branch("right", taken_probability=0.5)
+            .block("left").alu(0, 0).jump("join")
+            .block("right").alu(1, 1)
+            .block("join").exit()
+            .build()
+        )
+        partition = interval_partition(kernel.cfg)
+        assert partition.region_count() == 1
+
+
+class TestDerivedGraph:
+    def test_derived_edges_cross_regions_only(self):
+        cfg = nested_loop_kernel().cfg
+        partition = interval_partition(cfg)
+        for a, b in derived_edges(cfg, partition):
+            assert a != b
+
+
+class TestReducibility:
+    def test_structured_kernels_reducible(self):
+        assert is_reducible_by_intervals(nested_loop_kernel().cfg)
+
+    def test_matches_t1t2_on_irreducible_graph(self):
+        cfg = CFG()
+        cfg.add_block(BasicBlock("entry", [
+            Instruction(Opcode.BRA, target="b", taken_probability=0.5),
+        ]))
+        cfg.add_block(BasicBlock("a", [
+            Instruction(Opcode.BRA, target="b", taken_probability=0.5),
+        ]))
+        cfg.add_block(BasicBlock("b", [
+            Instruction(Opcode.BRA, target="a", taken_probability=0.5),
+        ]))
+        cfg.add_block(BasicBlock("end", [Instruction(Opcode.EXIT)]))
+        assert not is_reducible_by_intervals(cfg)
+        assert cfg.is_reducible() == is_reducible_by_intervals(cfg)
+
+    def test_matches_t1t2_on_structured_graphs(self):
+        for kernel in (nested_loop_kernel(),):
+            assert kernel.cfg.is_reducible() == is_reducible_by_intervals(kernel.cfg)

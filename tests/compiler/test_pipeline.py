@@ -1,0 +1,129 @@
+"""Tests for PREFETCH insertion, the compile pipeline, and analyses."""
+
+import pytest
+
+from repro.compiler import (
+    compile_kernel,
+    optimal_region_lengths,
+    real_region_lengths,
+    region_length_comparison,
+)
+from repro.ir import KernelBuilder, Opcode
+
+
+def loop_kernel(trip_count=8):
+    return (
+        KernelBuilder("loop")
+        .block("pre").alu(0, 0)
+        .block("body")
+        .alu(1, 1)
+        .alu(2, 1, 0)
+        .branch("body", trip_count=trip_count)
+        .block("end")
+        .alu(3, 2)
+        .exit()
+        .build()
+    )
+
+
+class TestCompileKernel:
+    def test_rejects_unknown_region_kind(self):
+        with pytest.raises(ValueError):
+            compile_kernel(loop_kernel(), region_kind="basic-block")
+
+    def test_source_kernel_untouched(self):
+        kernel = loop_kernel()
+        before = kernel.static_instruction_count
+        compile_kernel(kernel)
+        assert kernel.static_instruction_count == before
+
+    def test_prefetch_at_every_header(self):
+        compiled = compile_kernel(loop_kernel())
+        for region in compiled.partition.regions:
+            block = compiled.kernel.cfg.block(region.header)
+            assert block.instructions[0].opcode is Opcode.PREFETCH
+
+    def test_prefetch_vector_matches_working_set(self):
+        compiled = compile_kernel(loop_kernel())
+        for region in compiled.partition.regions:
+            block = compiled.kernel.cfg.block(region.header)
+            prefetch = block.instructions[0]
+            assert set(prefetch.prefetch_registers()) == set(region.registers)
+
+    def test_liveness_annotations_present(self):
+        compiled = compile_kernel(loop_kernel())
+        end_block = compiled.kernel.cfg.block("end")
+        # 'alu(3, 2)' is the final consumer of r2.
+        consumer = [i for i in end_block.instructions if 2 in i.srcs][0]
+        assert 2 in consumer.dead_srcs
+
+    def test_strand_kind_produces_strand_partition(self):
+        compiled = compile_kernel(loop_kernel(), region_kind="strand")
+        assert compiled.partition.kind == "strand"
+
+    def test_compiled_kernel_traces(self):
+        compiled = compile_kernel(loop_kernel())
+        trace = compiled.kernel.trace_list()
+        opcodes = {e.instruction.opcode for e in trace}
+        assert Opcode.PREFETCH in opcodes
+        assert trace[-1].instruction.opcode is Opcode.EXIT
+
+
+class TestCodeSize:
+    def test_overhead_orders(self):
+        """Explicit-instruction scheme always costs more than embedded bit."""
+        compiled = compile_kernel(loop_kernel())
+        report = compiled.code_size
+        assert report.explicit_instruction_overhead > report.embedded_bit_overhead
+        assert report.embedded_bit_overhead > 0
+
+    def test_overhead_scales_with_prefetch_count(self):
+        small = compile_kernel(loop_kernel()).code_size
+        # Tighter bound -> more intervals -> more prefetches.
+        large = compile_kernel(loop_kernel(), max_registers=4).code_size
+        assert large.prefetch_operations >= small.prefetch_operations
+
+    def test_double_insertion_rejected(self):
+        from repro.compiler import insert_prefetches
+        compiled = compile_kernel(loop_kernel())
+        with pytest.raises(ValueError):
+            insert_prefetches(compiled.kernel, compiled.partition)
+
+
+class TestRegionLengths:
+    def test_real_lengths_exclude_prefetch(self):
+        compiled = compile_kernel(loop_kernel(trip_count=8))
+        lengths = real_region_lengths(compiled)
+        body_instructions = sum(
+            1 for e in compiled.kernel.trace()
+            if e.instruction.opcode is not Opcode.PREFETCH
+        )
+        assert sum(lengths) == body_instructions
+
+    def test_loop_in_one_region_yields_long_dynamic_interval(self):
+        compiled = compile_kernel(loop_kernel(trip_count=16), max_registers=16)
+        lengths = real_region_lengths(compiled)
+        # The whole loop fits in one interval: its dynamic length must
+        # cover all iterations (3 instructions x 16 iterations minimum).
+        assert max(lengths) >= 48
+
+    def test_optimal_lengths_cover_trace(self):
+        kernel = loop_kernel(trip_count=4)
+        trace = kernel.trace_list()
+        lengths = optimal_region_lengths(iter(trace), max_registers=16)
+        assert sum(lengths) == len(trace)
+
+    def test_optimal_at_least_real_on_average(self):
+        """Optimal ignores control-flow constraints, so its average dynamic
+        length can only be >= the real one (the paper reports 89%)."""
+        compiled = compile_kernel(loop_kernel(trip_count=8), max_registers=8)
+        comparison = region_length_comparison(compiled)
+        assert comparison["optimal"].average >= comparison["real"].average
+
+    def test_tiny_bound_shortens_optimal_lengths(self):
+        kernel = loop_kernel(trip_count=8)
+        trace = kernel.trace_list()
+        tight = optimal_region_lengths(iter(trace), max_registers=4)
+        loose = optimal_region_lengths(iter(trace), max_registers=32)
+        assert max(tight) <= max(loose)
+        assert len(tight) >= len(loose)

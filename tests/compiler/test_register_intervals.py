@@ -1,0 +1,204 @@
+"""Tests for register-interval formation (Algorithms 1 and 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import form_register_intervals
+from repro.ir import KernelBuilder
+
+
+def wide_kernel(regs_per_block=6, blocks=4):
+    """A fall-through chain where each block touches a fresh register set."""
+    builder = KernelBuilder("wide")
+    reg = 0
+    for index in range(blocks):
+        builder.block(f"b{index}")
+        for _ in range(regs_per_block // 2):
+            builder.alu(reg, (reg + 1) % 250)
+            reg += 2
+    builder.block("end").exit()
+    return builder.build()
+
+
+def figure6_kernel():
+    """Nested loops, small working set: pass 2 should fuse the outer loop."""
+    return (
+        KernelBuilder("fig6")
+        .block("A").alu(0, 0)
+        .block("B").alu(1, 1)
+        .block("C")
+        .alu(2, 2)
+        .branch("B", trip_count=3)
+        .block("C2")
+        .branch("A", trip_count=2)
+        .block("end").exit()
+        .build()
+    )
+
+
+class TestPass1:
+    def test_bound_respected(self):
+        kernel = wide_kernel(regs_per_block=6, blocks=6)
+        partition = form_register_intervals(kernel.clone(), max_registers=8)
+        for region in partition.regions:
+            assert region.working_set_size <= 8
+
+    def test_small_kernel_single_interval(self):
+        kernel = (
+            KernelBuilder("tiny")
+            .block("a").alu(0, 1)
+            .block("b").alu(2, 3).exit()
+            .build()
+        )
+        partition = form_register_intervals(kernel.clone(), max_registers=16)
+        assert partition.region_count() == 1
+
+    def test_oversized_block_is_split(self):
+        builder = KernelBuilder("big").block("huge")
+        for reg in range(0, 24, 2):
+            builder.alu(reg, reg + 1)
+        builder.exit()
+        kernel = builder.build()
+        clone = kernel.clone()
+        partition = form_register_intervals(clone, max_registers=8)
+        assert partition.region_count() > 1
+        assert len(clone.cfg) > len(kernel.cfg)
+        clone.cfg.validate()
+
+    def test_split_preserves_instruction_sequence(self):
+        builder = KernelBuilder("big").block("huge")
+        for reg in range(0, 24, 2):
+            builder.alu(reg, reg + 1)
+        builder.exit()
+        kernel = builder.build()
+        clone = kernel.clone()
+        form_register_intervals(clone, max_registers=8)
+        original = [str(i) for _, _, i in kernel.static_instructions()]
+        after = [str(i) for _, _, i in clone.static_instructions()]
+        assert original == after
+
+    def test_rejects_tiny_bound(self):
+        with pytest.raises(ValueError):
+            form_register_intervals(figure6_kernel().clone(), max_registers=2)
+
+    def test_pass1_only_keeps_loop_header_interval_separate(self):
+        kernel = figure6_kernel()
+        partition = form_register_intervals(
+            kernel.clone(), max_registers=16, run_pass2=False
+        )
+        # Loop header B cannot join A's interval in pass 1 (back edge from C).
+        assert partition.region_of("A").id != partition.region_of("B").id
+
+
+class TestPass2:
+    def test_figure6_outer_loop_fuses(self):
+        """The paper's Figure 6: after pass 2 the whole nest is one interval."""
+        kernel = figure6_kernel()
+        partition = form_register_intervals(kernel.clone(), max_registers=16)
+        ids = {partition.region_of(label).id for label in ("A", "B", "C", "C2")}
+        assert len(ids) == 1
+
+    def test_pass2_respects_register_bound(self):
+        # With a bound too small to fuse, the loops stay separate.
+        builder = KernelBuilder("fat")
+        builder.block("A")
+        for reg in range(0, 8, 2):
+            builder.alu(reg, reg + 1)
+        builder.block("B")
+        for reg in range(8, 16, 2):
+            builder.alu(reg, reg + 1)
+        builder.branch("B", trip_count=3)
+        builder.block("latch").branch("A", trip_count=2)
+        builder.block("end").exit()
+        kernel = builder.build()
+        partition = form_register_intervals(kernel.clone(), max_registers=8)
+        assert partition.region_of("A").id != partition.region_of("B").id
+        for region in partition.regions:
+            assert region.working_set_size <= 8
+
+    def test_pass2_never_increases_interval_count(self):
+        kernel = figure6_kernel()
+        pass1 = form_register_intervals(
+            kernel.clone(), max_registers=16, run_pass2=False
+        )
+        full = form_register_intervals(kernel.clone(), max_registers=16)
+        assert full.region_count() <= pass1.region_count()
+
+    def test_partition_is_valid_after_pass2(self):
+        kernel = figure6_kernel()
+        clone = kernel.clone()
+        partition = form_register_intervals(clone, max_registers=16)
+        partition.validate(clone.cfg)   # does not raise
+
+
+@st.composite
+def random_structured_kernels(draw):
+    """Random reducible kernels: sequences of loops and diamonds."""
+    builder = KernelBuilder("rand")
+    builder.block("entry").alu(0, 1)
+    structures = draw(st.lists(
+        st.sampled_from(["loop", "diamond", "straight"]),
+        min_size=1, max_size=5,
+    ))
+    next_reg = draw(st.integers(min_value=2, max_value=8))
+    label_counter = 0
+    for kind in structures:
+        label_counter += 1
+        base = f"s{label_counter}"
+        regs = [
+            draw(st.integers(min_value=0, max_value=31)) for _ in range(4)
+        ]
+        if kind == "loop":
+            builder.block(f"{base}_body")
+            builder.alu(regs[0], regs[1])
+            builder.alu(regs[2], regs[0])
+            builder.branch(f"{base}_body", trip_count=draw(
+                st.integers(min_value=1, max_value=4)))
+        elif kind == "diamond":
+            builder.block(f"{base}_fork")
+            builder.alu(regs[0], regs[1])
+            builder.branch(f"{base}_right", taken_probability=0.5)
+            builder.block(f"{base}_left").alu(regs[2], regs[0])
+            builder.jump(f"{base}_join")
+            builder.block(f"{base}_right").alu(regs[3], regs[0])
+            builder.block(f"{base}_join").alu(regs[1], regs[2])
+        else:
+            builder.block(f"{base}_straight")
+            builder.alu(regs[0], regs[1])
+            builder.alu(regs[2], regs[3])
+    builder.block("end").exit()
+    del next_reg
+    return builder.build()
+
+
+class TestRegisterIntervalProperties:
+    @given(random_structured_kernels(),
+           st.sampled_from([8, 16, 32]))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_invariants_hold(self, kernel, bound):
+        clone = kernel.clone()
+        partition = form_register_intervals(clone, max_registers=bound)
+        partition.validate(clone.cfg)   # coverage, single entry, bound
+
+    @given(random_structured_kernels())
+    @settings(max_examples=30, deadline=None)
+    def test_trace_is_preserved_by_compilation(self, kernel):
+        """Splitting blocks must not change the executed instruction stream."""
+        clone = kernel.clone()
+        form_register_intervals(clone, max_registers=16)
+        original = [str(e.instruction) for e in kernel.trace(seed=3)]
+        compiled = [str(e.instruction) for e in clone.trace(seed=3)]
+        assert original == compiled
+
+    @given(random_structured_kernels())
+    @settings(max_examples=20, deadline=None)
+    def test_headers_are_single_entry_points(self, kernel):
+        clone = kernel.clone()
+        partition = form_register_intervals(clone, max_registers=16)
+        for label in clone.cfg.labels():
+            for succ in clone.cfg.successors(label):
+                a = partition.block_to_region[label]
+                b = partition.block_to_region[succ]
+                if a != b:
+                    assert succ == partition.regions[b].header

@@ -1,0 +1,236 @@
+"""Tests for basic blocks and the CFG analyses."""
+
+import pytest
+
+from repro.ir import BasicBlock, CFG, CFGError, Instruction, KernelBuilder, Opcode
+
+
+def linear_cfg():
+    """entry -> mid -> end (fall-through chain)."""
+    cfg = CFG()
+    cfg.add_block(BasicBlock("entry", [Instruction(Opcode.IADD, dsts=(0,))]))
+    cfg.add_block(BasicBlock("mid", [Instruction(Opcode.IADD, dsts=(1,))]))
+    cfg.add_block(BasicBlock("end", [Instruction(Opcode.EXIT)]))
+    return cfg
+
+
+def loop_cfg():
+    """entry -> head; head -> body -> head (back edge) ; head -> end."""
+    cfg = CFG()
+    cfg.add_block(BasicBlock("entry", [Instruction(Opcode.IADD, dsts=(0,))]))
+    cfg.add_block(BasicBlock("head", [
+        Instruction(Opcode.BRA, target="end", taken_probability=0.5),
+    ]))
+    cfg.add_block(BasicBlock("body", [
+        Instruction(Opcode.IADD, dsts=(1,), srcs=(1,)),
+        Instruction(Opcode.BRA, target="head"),
+    ]))
+    cfg.add_block(BasicBlock("end", [Instruction(Opcode.EXIT)]))
+    return cfg
+
+
+class TestBasicBlock:
+    def test_rejects_empty_label(self):
+        with pytest.raises(ValueError):
+            BasicBlock("")
+
+    def test_rejects_midblock_terminator(self):
+        with pytest.raises(ValueError):
+            BasicBlock("b", [
+                Instruction(Opcode.EXIT),
+                Instruction(Opcode.IADD, dsts=(0,)),
+            ])
+
+    def test_append_past_terminator_fails(self):
+        block = BasicBlock("b", [Instruction(Opcode.EXIT)])
+        with pytest.raises(ValueError):
+            block.append(Instruction(Opcode.IADD, dsts=(0,)))
+
+    def test_falls_through_without_terminator(self):
+        assert BasicBlock("b", [Instruction(Opcode.IADD, dsts=(0,))]).falls_through
+
+    def test_conditional_branch_falls_through(self):
+        block = BasicBlock("b", [
+            Instruction(Opcode.BRA, target="x", trip_count=2),
+        ])
+        assert block.falls_through and block.branch_target == "x"
+
+    def test_unconditional_branch_does_not_fall_through(self):
+        block = BasicBlock("b", [Instruction(Opcode.BRA, target="x")])
+        assert not block.falls_through
+
+    def test_upward_exposed_uses(self):
+        block = BasicBlock("b", [
+            Instruction(Opcode.IADD, dsts=(0,), srcs=(1,)),   # r1 upward-exposed
+            Instruction(Opcode.IADD, dsts=(2,), srcs=(0,)),   # r0 defined above
+        ])
+        assert block.upward_exposed_uses() == frozenset({1})
+        assert block.defs() == frozenset({0, 2})
+
+    def test_split_at(self):
+        block = BasicBlock("b", [
+            Instruction(Opcode.IADD, dsts=(0,)),
+            Instruction(Opcode.IADD, dsts=(1,)),
+            Instruction(Opcode.EXIT),
+        ])
+        tail = block.split_at(1, "b.1")
+        assert len(block) == 1 and len(tail) == 2
+        assert tail.terminator is not None
+
+    def test_split_rejects_boundary_indices(self):
+        block = BasicBlock("b", [Instruction(Opcode.IADD, dsts=(0,))])
+        with pytest.raises(ValueError):
+            block.split_at(0, "b.1")
+
+
+class TestCFGConstruction:
+    def test_first_block_is_entry(self):
+        assert linear_cfg().entry == "entry"
+
+    def test_duplicate_label_rejected(self):
+        cfg = linear_cfg()
+        with pytest.raises(CFGError):
+            cfg.add_block(BasicBlock("entry"))
+
+    def test_unknown_block_lookup(self):
+        with pytest.raises(CFGError):
+            linear_cfg().block("nope")
+
+    def test_layout_insert_after(self):
+        cfg = linear_cfg()
+        cfg.add_block(BasicBlock("patch", [Instruction(Opcode.IADD, dsts=(2,))]),
+                      after="entry")
+        assert cfg.labels() == ["entry", "patch", "mid", "end"]
+
+    def test_validate_catches_fallthrough_off_end(self):
+        cfg = CFG()
+        cfg.add_block(BasicBlock("entry", [Instruction(Opcode.IADD, dsts=(0,))]))
+        with pytest.raises(CFGError):
+            cfg.validate()
+
+    def test_validate_catches_unknown_target(self):
+        cfg = CFG()
+        cfg.add_block(BasicBlock("entry", [Instruction(Opcode.BRA, target="ghost")]))
+        with pytest.raises(CFGError):
+            cfg.validate()
+
+    def test_validate_catches_unreachable(self):
+        cfg = CFG()
+        cfg.add_block(BasicBlock("entry", [Instruction(Opcode.EXIT)]))
+        cfg.add_block(BasicBlock("island", [Instruction(Opcode.EXIT)]))
+        with pytest.raises(CFGError):
+            cfg.validate()
+
+
+class TestConnectivity:
+    def test_fallthrough_chain(self):
+        cfg = linear_cfg()
+        assert cfg.successors("entry") == ["mid"]
+        assert cfg.successors("mid") == ["end"]
+        assert cfg.successors("end") == []
+
+    def test_conditional_has_two_successors(self):
+        cfg = loop_cfg()
+        assert set(cfg.successors("head")) == {"end", "body"}
+
+    def test_predecessors(self):
+        cfg = loop_cfg()
+        assert set(cfg.predecessors("head")) == {"entry", "body"}
+
+    def test_reverse_postorder_starts_at_entry(self):
+        order = loop_cfg().reverse_postorder()
+        assert order[0] == "entry"
+        assert set(order) == {"entry", "head", "body", "end"}
+        assert order.index("head") < order.index("body")
+
+
+class TestDominators:
+    def test_linear_chain(self):
+        idom = linear_cfg().dominators()
+        assert idom == {"entry": None, "mid": "entry", "end": "mid"}
+
+    def test_loop_header_dominates_body(self):
+        cfg = loop_cfg()
+        assert cfg.dominates("head", "body")
+        assert not cfg.dominates("body", "head")
+
+    def test_dominates_is_reflexive(self):
+        assert loop_cfg().dominates("body", "body")
+
+    def test_diamond_join_dominated_by_fork(self):
+        builder = KernelBuilder("diamond")
+        builder.block("a").branch("c", taken_probability=0.5)
+        builder.block("b").alu(0, 0)
+        builder.emit(Instruction(Opcode.BRA, target="join"))
+        builder.block("c").alu(1, 1)
+        builder.block("join").exit()
+        cfg = builder.build().cfg
+        assert cfg.dominators()["join"] == "a"
+
+
+class TestLoops:
+    def test_back_edge_detected(self):
+        assert loop_cfg().back_edges() == [("body", "head")]
+
+    def test_natural_loop_body(self):
+        cfg = loop_cfg()
+        assert cfg.natural_loop("body", "head") == frozenset({"head", "body"})
+
+    def test_natural_loops_map(self):
+        loops = loop_cfg().natural_loops()
+        assert loops == {"head": frozenset({"head", "body"})}
+
+    def test_linear_cfg_has_no_loops(self):
+        assert linear_cfg().back_edges() == []
+
+    def test_reducible_structured_cfg(self):
+        assert loop_cfg().is_reducible()
+        assert linear_cfg().is_reducible()
+
+    def test_irreducible_cfg_detected(self):
+        # Two blocks jumping into each other with two distinct entries.
+        cfg = CFG()
+        cfg.add_block(BasicBlock("entry", [
+            Instruction(Opcode.BRA, target="b", taken_probability=0.5),
+        ]))
+        cfg.add_block(BasicBlock("a", [
+            Instruction(Opcode.BRA, target="b", taken_probability=0.5),
+        ]))
+        cfg.add_block(BasicBlock("b", [
+            Instruction(Opcode.BRA, target="a", taken_probability=0.5),
+        ]))
+        cfg.add_block(BasicBlock("end", [Instruction(Opcode.EXIT)]))
+        assert not cfg.is_reducible()
+
+
+class TestSplitBlock:
+    def test_split_preserves_edges(self):
+        cfg = loop_cfg()
+        cfg.split_block("body", 1, "body.1")
+        assert cfg.successors("body") == ["body.1"]
+        assert cfg.successors("body.1") == ["head"]
+        cfg.validate()
+
+    def test_split_duplicate_label_rejected(self):
+        cfg = loop_cfg()
+        with pytest.raises(CFGError):
+            cfg.split_block("body", 1, "head")
+
+
+class TestAgainstNetworkx:
+    """Cross-check our dominator implementation against networkx."""
+
+    def test_dominators_match_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        cfg = loop_cfg()
+        graph = networkx.DiGraph()
+        for label in cfg.labels():
+            for succ in cfg.successors(label):
+                graph.add_edge(label, succ)
+        expected = networkx.immediate_dominators(graph, "entry")
+        ours = cfg.dominators()
+        for node, idom in expected.items():
+            if node == "entry":
+                assert ours[node] is None
+            else:
+                assert ours[node] == idom

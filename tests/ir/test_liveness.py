@@ -1,0 +1,137 @@
+"""Tests for liveness analysis and dead-operand annotation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import KernelBuilder, Opcode, analyze, annotate_dead_operands
+
+
+def straightline_kernel():
+    """r1 = r0; r2 = r1; exit -- r0 dead after first use."""
+    return (
+        KernelBuilder("s")
+        .block("entry")
+        .mov(1, 0)
+        .mov(2, 1)
+        .exit()
+        .build()
+    )
+
+
+def loop_carried_kernel():
+    """Accumulator r1 is live around the loop; r2 is body-local."""
+    return (
+        KernelBuilder("lc")
+        .block("entry").alu(0, 0).alu(1, 0)
+        .block("body")
+        .alu(2, 1)            # r2 = f(r1)
+        .alu(1, 1, 2)         # r1 += r2
+        .branch("body", trip_count=4)
+        .block("end")
+        .alu(3, 1)
+        .exit()
+        .build()
+    )
+
+
+class TestAnalyze:
+    def test_straightline_live_in(self):
+        info = analyze(straightline_kernel())
+        assert info.live_in["entry"] == frozenset({0})
+
+    def test_straightline_live_after_points(self):
+        info = analyze(straightline_kernel())
+        assert info.live_after("entry", 0) == frozenset({1})
+        assert info.live_after("entry", 1) == frozenset()
+
+    def test_loop_carried_register_live_at_header(self):
+        info = analyze(loop_carried_kernel())
+        assert 1 in info.live_in["body"]
+
+    def test_body_local_register_not_live_at_exit_block(self):
+        info = analyze(loop_carried_kernel())
+        assert 2 not in info.live_in["end"]
+
+    def test_loop_carried_register_live_out_of_body(self):
+        info = analyze(loop_carried_kernel())
+        assert 1 in info.live_out["body"]
+
+
+class TestAnnotateDeadOperands:
+    def test_last_use_marked_dead(self):
+        kernel = straightline_kernel()
+        annotate_dead_operands(kernel)
+        first = kernel.cfg.block("entry").instructions[0]
+        assert first.dead_srcs == frozenset({0})
+
+    def test_loop_carried_not_marked_dead_in_body(self):
+        kernel = loop_carried_kernel()
+        annotate_dead_operands(kernel)
+        # r1 is read by 'alu(2, 1)' but live around the loop: never dead there.
+        body_first = kernel.cfg.block("body").instructions[0]
+        assert 1 not in body_first.dead_srcs
+
+    def test_final_consumer_marks_register_dead(self):
+        kernel = loop_carried_kernel()
+        annotate_dead_operands(kernel)
+        end_first = kernel.cfg.block("end").instructions[0]
+        assert 1 in end_first.dead_srcs
+
+    def test_annotation_is_conservative_under_branches(self):
+        # r0 used on one side of a diamond: still live at the fork.
+        kernel = (
+            KernelBuilder("d")
+            .block("fork")
+            .alu(0, 0)
+            .branch("right", taken_probability=0.5)
+            .block("left").alu(1, 0).jump("join")
+            .block("right").alu(2, 2)
+            .block("join").exit()
+            .build()
+        )
+        annotate_dead_operands(kernel)
+        fork_alu = kernel.cfg.block("fork").instructions[0]
+        assert 0 not in fork_alu.dead_srcs
+        left_alu = kernel.cfg.block("left").instructions[0]
+        assert 0 in left_alu.dead_srcs
+
+
+@st.composite
+def random_linear_kernels(draw):
+    """Straight-line kernels with random def/use patterns over 8 registers."""
+    builder = KernelBuilder("rand").block("entry")
+    length = draw(st.integers(min_value=1, max_value=30))
+    for _ in range(length):
+        dst = draw(st.integers(min_value=0, max_value=7))
+        a = draw(st.integers(min_value=0, max_value=7))
+        b = draw(st.integers(min_value=0, max_value=7))
+        builder.alu(dst, a, b)
+    builder.exit()
+    return builder.build()
+
+
+class TestLivenessProperties:
+    @given(random_linear_kernels())
+    @settings(max_examples=50, deadline=None)
+    def test_dead_marking_matches_forward_scan(self, kernel):
+        """A straight-line operand is dead iff never read again downstream
+        before being overwritten."""
+        annotate_dead_operands(kernel)
+        instructions = kernel.cfg.block("entry").instructions
+        for index, instruction in enumerate(instructions):
+            for src in instruction.srcs:
+                read_again = False
+                for later in instructions[index + 1:]:
+                    if src in later.srcs:
+                        read_again = True
+                        break
+                    if src in later.dsts:
+                        break
+                assert (src in instruction.dead_srcs) == (not read_again)
+
+    @given(random_linear_kernels())
+    @settings(max_examples=30, deadline=None)
+    def test_live_in_contains_upward_exposed_uses(self, kernel):
+        info = analyze(kernel)
+        block = kernel.cfg.block("entry")
+        assert block.upward_exposed_uses() <= info.live_in["entry"]

@@ -1,0 +1,146 @@
+"""Tests for the technology table, analytic model, and energy model."""
+
+import pytest
+
+from repro.power import (
+    TABLE2,
+    TECHNOLOGIES,
+    access_energy,
+    bank_latency,
+    design,
+    design_latency,
+    design_leakage,
+    gpu_config_for,
+    network_latency,
+    normalized_power,
+    run_power,
+)
+from repro.arch import GPUConfig
+from repro.experiments.runner import RunRecord
+
+
+def record(**overrides):
+    defaults = dict(
+        workload="w", policy="BL", ipc=1.0, cycles=10_000,
+        instructions=20_000, prefetch_operations=0, resident_warps=8,
+        activations=8, deactivations=0, mrf_reads=40_000, mrf_writes=15_000,
+        rfc_reads=0, rfc_writes=0, rfc_read_hits=0, rfc_read_misses=0,
+        rfc_fills=0, rfc_writebacks=0, l1_hit_rate=0.5,
+    )
+    defaults.update(overrides)
+    return RunRecord(**defaults)
+
+
+class TestTable2Data:
+    def test_seven_design_points(self):
+        assert sorted(TABLE2) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_baseline_is_unity(self):
+        point = design(1)
+        assert point.latency_scale == 1.0
+        assert point.capacity_scale == 1
+
+    def test_dwm_is_densest(self):
+        assert design(7).capacity_per_area == max(
+            p.capacity_per_area for p in TABLE2.values()
+        )
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            design(8)
+
+    def test_gpu_config_translation(self):
+        config = gpu_config_for(6, GPUConfig())
+        assert config.mrf_size_kb == 2048
+        assert config.mrf_banks == 128
+        assert config.mrf_latency_multiple == 5.3
+
+    def test_gpu_config_overrides(self):
+        config = gpu_config_for(6, GPUConfig(), mrf_latency_multiple=1.0)
+        assert config.mrf_latency_multiple == 1.0
+
+
+class TestCactiModel:
+    def test_baseline_bank_is_unity(self):
+        assert bank_latency(16, TECHNOLOGIES["HP SRAM"]) == pytest.approx(1.0)
+
+    def test_bigger_banks_are_slower(self):
+        hp = TECHNOLOGIES["HP SRAM"]
+        assert bank_latency(128, hp) > bank_latency(16, hp)
+
+    def test_slower_cells_are_slower(self):
+        assert (
+            bank_latency(16, TECHNOLOGIES["DWM"])
+            > bank_latency(16, TECHNOLOGIES["HP SRAM"])
+        )
+
+    def test_rejects_nonpositive_bank(self):
+        with pytest.raises(ValueError):
+            bank_latency(0, TECHNOLOGIES["HP SRAM"])
+
+    def test_network_topologies(self):
+        # A 128-port crossbar is worse than a flattened butterfly.
+        assert network_latency(128, "crossbar") > network_latency(
+            128, "butterfly"
+        )
+        with pytest.raises(ValueError):
+            network_latency(16, "torus")
+
+    def test_design_latencies_track_table2(self):
+        """The analytic model reproduces the published latency trends."""
+        modelled = {}
+        for point in TABLE2.values():
+            topology = (
+                "butterfly" if point.network == "F. Butterfly" else "crossbar"
+            )
+            modelled[point.config_id] = design_latency(
+                16 * point.bank_size_scale, point.banks, point.cell, topology
+            )
+        # Monotone over the HP -> LSTP -> TFET -> DWM progression used
+        # for the 8x-banked designs.
+        assert modelled[3] < modelled[5] < modelled[6] < modelled[7]
+        # Tight agreement where queueing effects are small.
+        for config_id in (1, 2, 4):
+            published = design(config_id).latency_scale
+            assert modelled[config_id] == pytest.approx(published, rel=0.25)
+
+    def test_leakage_scales_with_capacity_and_tech(self):
+        assert design_leakage(2048, "HP SRAM") == pytest.approx(8.0)
+        assert design_leakage(2048, "DWM") < 0.1
+
+    def test_access_energy_tracks_tech(self):
+        assert access_energy(16, "DWM") < access_energy(16, "HP SRAM")
+
+
+class TestEnergyModel:
+    def test_baseline_breakdown_positive(self):
+        breakdown = run_power(record(), design(1), has_cache=False)
+        assert breakdown.total > 0
+        assert breakdown.rfc_dynamic == 0
+
+    def test_wcb_adds_power(self):
+        with_wcb = run_power(
+            record(rfc_reads=30_000, rfc_writes=10_000, rfc_fills=5_000),
+            design(7), has_cache=True, has_wcb=True,
+        )
+        without = run_power(
+            record(rfc_reads=30_000, rfc_writes=10_000, rfc_fills=5_000),
+            design(7), has_cache=True, has_wcb=False,
+        )
+        assert with_wcb.total > without.total
+
+    def test_filtered_traffic_saves_power(self):
+        """Moving most accesses to the small RFC must reduce power on a
+        DWM main register file."""
+        baseline = record()
+        cached = record(
+            policy="LTRF", mrf_reads=6_000, mrf_writes=4_000,
+            rfc_reads=40_000, rfc_writes=15_000, rfc_fills=6_000,
+        )
+        value = normalized_power(cached, baseline, 7, "LTRF")
+        assert value < 1.0
+
+    def test_normalized_power_baseline_identity(self):
+        baseline = record()
+        value = normalized_power(baseline, baseline, 1, "BL")
+        assert value == pytest.approx(1.0)

@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list_workloads(capsys):
+    assert main(["list-workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "backprop" in out and "btree" in out
+
+
+def test_list_policies(capsys):
+    main(["list-policies"])
+    out = capsys.readouterr().out
+    assert "LTRF+" in out and "BL" in out
+
+
+def test_list_experiments(capsys):
+    main(["list-experiments"])
+    out = capsys.readouterr().out
+    for name in ("fig9a", "table4"):
+        assert name in out
+
+
+def test_compile_command(capsys):
+    main(["compile", "btree", "--max-registers", "16"])
+    out = capsys.readouterr().out
+    assert "region" in out and "PREFETCH" in out
+
+
+def test_compile_strands(capsys):
+    main(["compile", "btree", "--regions", "strand"])
+    assert "strand region" in capsys.readouterr().out
+
+
+def test_simulate_command(capsys):
+    main(["simulate", "btree", "--policy", "BL"])
+    out = capsys.readouterr().out
+    assert "IPC" in out and "MRF accesses" in out
+
+
+def test_experiment_registry_is_complete():
+    expected = {"table1", "table2", "table4", "fig2", "fig3", "fig4",
+                "fig9a", "fig9b", "fig10", "fig11", "fig12", "fig13",
+                "fig14", "overheads"}
+    assert expected <= set(EXPERIMENTS)
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
