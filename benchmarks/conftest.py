@@ -6,7 +6,13 @@ suite fast while a cold one still completes in minutes.  The reduced
 ``FAST_WORKLOADS`` subset keeps cold benchmark runs tractable; passing
 the full evaluation list reproduces the paper-scale tables (see
 EXPERIMENTS.md for full-scale results).
+
+Set ``LTRF_BENCH_JOBS=N`` to fan each benchmark's simulation grid out
+over N worker processes on a cold cache (results are identical to the
+serial run; see Runner.simulate_many).
 """
+
+import os
 
 import pytest
 
@@ -24,3 +30,8 @@ def runner():
 @pytest.fixture(scope="session")
 def fast_workloads():
     return list(FAST_WORKLOADS)
+
+
+@pytest.fixture(scope="session")
+def jobs():
+    return int(os.environ.get("LTRF_BENCH_JOBS", "1"))

@@ -3,9 +3,10 @@
 from repro.experiments import fig11
 
 
-def test_fig11(benchmark, runner, fast_workloads):
+def test_fig11(benchmark, runner, fast_workloads, jobs):
     result = benchmark.pedantic(
-        fig11, args=(runner, fast_workloads), rounds=1, iterations=1,
+        fig11, args=(runner, fast_workloads),
+        kwargs={"jobs": jobs}, rounds=1, iterations=1,
     )
     print("\n" + result.render())
     summary = result.summary

@@ -3,10 +3,10 @@
 from repro.experiments import fig12
 
 
-def test_fig12(benchmark, runner):
+def test_fig12(benchmark, runner, jobs):
     result = benchmark.pedantic(
         fig12, args=(runner, ["btree", "backprop", "srad"]),
-        rounds=1, iterations=1,
+        kwargs={"jobs": jobs}, rounds=1, iterations=1,
     )
     print("\n" + result.render())
     summary = result.summary

@@ -3,10 +3,10 @@
 from repro.experiments import fig14
 
 
-def test_fig14(benchmark, runner):
+def test_fig14(benchmark, runner, jobs):
     result = benchmark.pedantic(
         fig14, args=(runner, ["btree", "backprop", "srad"]),
-        rounds=1, iterations=1,
+        kwargs={"jobs": jobs}, rounds=1, iterations=1,
     )
     print("\n" + result.render())
     summary = result.summary

@@ -3,9 +3,10 @@
 from repro.experiments import fig3
 
 
-def test_fig3(benchmark, runner, fast_workloads):
+def test_fig3(benchmark, runner, fast_workloads, jobs):
     result = benchmark.pedantic(
-        fig3, args=(runner, fast_workloads), rounds=1, iterations=1,
+        fig3, args=(runner, fast_workloads),
+        kwargs={"jobs": jobs}, rounds=1, iterations=1,
     )
     print("\n" + result.render())
     # Ideal capacity helps (paper: +37% on register-sensitive);

@@ -3,9 +3,10 @@
 from repro.experiments import fig4
 
 
-def test_fig4(benchmark, runner, fast_workloads):
+def test_fig4(benchmark, runner, fast_workloads, jobs):
     result = benchmark.pedantic(
-        fig4, args=(runner, fast_workloads), rounds=1, iterations=1,
+        fig4, args=(runner, fast_workloads),
+        kwargs={"jobs": jobs}, rounds=1, iterations=1,
     )
     print("\n" + result.render())
     # Paper: 8-30% hit rates; SW cache close to HW cache.  Our

@@ -3,9 +3,10 @@
 from repro.experiments import fig9
 
 
-def test_fig9a_config6(benchmark, runner, fast_workloads):
+def test_fig9a_config6(benchmark, runner, fast_workloads, jobs):
     result = benchmark.pedantic(
-        fig9, args=(runner, 6, fast_workloads), rounds=1, iterations=1,
+        fig9, args=(runner, 6, fast_workloads),
+        kwargs={"jobs": jobs}, rounds=1, iterations=1,
     )
     print("\n" + result.render())
     summary = result.summary
@@ -17,9 +18,10 @@ def test_fig9a_config6(benchmark, runner, fast_workloads):
     assert summary["LTRF+_mean"] > 0.85 * summary["Ideal_mean"]
 
 
-def test_fig9b_config7(benchmark, runner, fast_workloads):
+def test_fig9b_config7(benchmark, runner, fast_workloads, jobs):
     result = benchmark.pedantic(
-        fig9, args=(runner, 7, fast_workloads), rounds=1, iterations=1,
+        fig9, args=(runner, 7, fast_workloads),
+        kwargs={"jobs": jobs}, rounds=1, iterations=1,
     )
     print("\n" + result.render())
     summary = result.summary

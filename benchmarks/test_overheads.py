@@ -3,9 +3,10 @@
 from repro.experiments import overheads, storage_report
 
 
-def test_overheads(benchmark, runner, fast_workloads):
+def test_overheads(benchmark, runner, fast_workloads, jobs):
     result = benchmark.pedantic(
-        overheads, args=(runner, fast_workloads), rounds=1, iterations=1,
+        overheads, args=(runner, fast_workloads),
+        kwargs={"jobs": jobs}, rounds=1, iterations=1,
     )
     print("\n" + result.render())
     summary = result.summary

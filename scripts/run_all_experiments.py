@@ -1,14 +1,16 @@
 """Regenerate every table and figure and write EXPERIMENTS.md.
 
-Run with:  python scripts/run_all_experiments.py [--fast]
+Run with:  python scripts/run_all_experiments.py [--fast] [--jobs N]
 
 ``--fast`` restricts the simulated experiments to a five-workload
 subset (the benchmark harness default); the full run uses the complete
 14-workload evaluation set and takes tens of minutes cold (results are
-cached under .ltrf_cache/).
+cached under .ltrf_cache/ or $LTRF_CACHE_DIR).  ``--jobs N`` fans each
+experiment's simulation grid out over N worker processes; the rendered
+output is byte-identical for any job count.
 """
 
-import sys
+import argparse
 import time
 
 from repro.experiments import (
@@ -45,9 +47,17 @@ PAPER_NOTES = {
 
 
 def main() -> None:
-    fast = "--fast" in sys.argv
-    workloads = list(EVALUATION)[:5] if fast else list(EVALUATION)
-    sweep_workloads = list(SWEEP_SUBSET)[:3] if fast else list(SWEEP_SUBSET)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true",
+                        help="five-workload subset instead of the full set")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for simulation grids")
+    args = parser.parse_args()
+    workloads = list(EVALUATION)[:5] if args.fast else list(EVALUATION)
+    sweep_workloads = (
+        list(SWEEP_SUBSET)[:3] if args.fast else list(SWEEP_SUBSET)
+    )
+    jobs = args.jobs
     runner = Runner()
     sections = []
 
@@ -63,17 +73,17 @@ def main() -> None:
     record(table1())
     record(fig2())
     record(table2())
-    record(fig3(runner, workloads))
-    record(fig4(runner, workloads))
-    record(fig9(runner, 6, workloads), "Figure 9a")
-    record(fig9(runner, 7, workloads), "Figure 9b")
-    record(fig10(runner, workloads))
-    record(fig11(runner, workloads))
-    record(fig12(runner, sweep_workloads))
-    record(fig13(runner, sweep_workloads))
-    record(fig14(runner, sweep_workloads))
+    record(fig3(runner, workloads, jobs=jobs))
+    record(fig4(runner, workloads, jobs=jobs))
+    record(fig9(runner, 6, workloads, jobs=jobs), "Figure 9a")
+    record(fig9(runner, 7, workloads, jobs=jobs), "Figure 9b")
+    record(fig10(runner, workloads, jobs=jobs))
+    record(fig11(runner, workloads, jobs=jobs))
+    record(fig12(runner, sweep_workloads, jobs=jobs))
+    record(fig13(runner, sweep_workloads, jobs=jobs))
+    record(fig14(runner, sweep_workloads, jobs=jobs))
     record(table4())
-    record(overheads(runner, workloads))
+    record(overheads(runner, workloads, jobs=jobs))
     record(storage_report(), "Section 4.3")
 
     for section in sections:

@@ -247,9 +247,12 @@ class StreamingMultiprocessor:
             # scheduler); stores are fire-and-forget.
             if instruction.dsts and not access.is_l1_hit:
                 deactivate = True
-        elif instruction.is_memory:
-            complete = start + instruction.execution_latency
         else:
+            # Everything else -- including shared-memory LD/ST -- has a
+            # fixed latency.  Shared memory is an on-chip scratchpad, not
+            # part of the L1/LLC hierarchy, so those ops neither touch
+            # ``self.memory`` nor count toward ``l1_hit_rate``, and they
+            # never deactivate a warp (tests/arch/test_sm.py pins this).
             complete = start + instruction.execution_latency
 
         for dst in instruction.dsts:

@@ -5,8 +5,8 @@ Usage (after ``pip install -e .``):
     python -m repro.cli list-workloads
     python -m repro.cli simulate backprop --policy LTRF --config 6
     python -m repro.cli compile backprop --regions strand
-    python -m repro.cli experiment fig9a fig10 table4
-    python -m repro.cli sweep backprop --policies BL,LTRF,LTRF+
+    python -m repro.cli experiment fig9a fig10 table4 --jobs 4
+    python -m repro.cli sweep backprop --policies BL,LTRF,LTRF+ --jobs 4
 
 Every subcommand prints plain text; experiment names mirror the paper's
 tables and figures (see DESIGN.md's experiment index).
@@ -18,33 +18,33 @@ import argparse
 import sys
 from typing import List
 
-from repro.arch import GPUConfig, StreamingMultiprocessor
 from repro.compiler import compile_kernel
 from repro.experiments import (
     Runner,
+    baseline_config,
     fig2, fig3, fig4, fig9, fig10, fig11, fig12, fig13, fig14,
-    max_tolerable_latency, normalized_sweep, overheads,
+    max_tolerable_latency, normalized_sweep, overheads, sweep_requests,
     table1, table2, table2_config, table4,
 )
-from repro.policies import POLICIES, policy_by_name
+from repro.policies import POLICIES
 from repro.workloads import SUITE, get_kernel, workload_names
 
-#: Experiment registry: name -> callable(runner) -> ExperimentResult.
+#: Experiment registry: name -> callable(runner, jobs) -> ExperimentResult.
 EXPERIMENTS = {
-    "table1": lambda runner: table1(),
-    "fig2": lambda runner: fig2(),
-    "table2": lambda runner: table2(),
-    "fig3": fig3,
-    "fig4": fig4,
-    "fig9a": lambda runner: fig9(runner, 6),
-    "fig9b": lambda runner: fig9(runner, 7),
-    "fig10": fig10,
-    "fig11": fig11,
-    "fig12": fig12,
-    "fig13": fig13,
-    "fig14": fig14,
-    "table4": lambda runner: table4(),
-    "overheads": overheads,
+    "table1": lambda runner, jobs: table1(),
+    "fig2": lambda runner, jobs: fig2(),
+    "table2": lambda runner, jobs: table2(),
+    "fig3": lambda runner, jobs: fig3(runner, jobs=jobs),
+    "fig4": lambda runner, jobs: fig4(runner, jobs=jobs),
+    "fig9a": lambda runner, jobs: fig9(runner, 6, jobs=jobs),
+    "fig9b": lambda runner, jobs: fig9(runner, 7, jobs=jobs),
+    "fig10": lambda runner, jobs: fig10(runner, jobs=jobs),
+    "fig11": lambda runner, jobs: fig11(runner, jobs=jobs),
+    "fig12": lambda runner, jobs: fig12(runner, jobs=jobs),
+    "fig13": lambda runner, jobs: fig13(runner, jobs=jobs),
+    "fig14": lambda runner, jobs: fig14(runner, jobs=jobs),
+    "table4": lambda runner, jobs: table4(),
+    "overheads": lambda runner, jobs: overheads(runner, jobs=jobs),
 }
 
 
@@ -79,21 +79,27 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="regenerate paper tables/figures")
     experiment.add_argument("names", nargs="+",
                             choices=sorted(EXPERIMENTS) + ["all"])
+    experiment.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for simulation grids")
 
     sweep = sub.add_parser("sweep", help="latency-tolerance sweep")
     sweep.add_argument("workload", choices=sorted(SUITE))
     sweep.add_argument("--policies", default="BL,RFC,LTRF,LTRF+",
                        help="comma-separated policy names")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the sweep grid")
     return parser
 
 
 def _cmd_simulate(args) -> None:
-    config = table2_config(args.config) if args.config != 1 else GPUConfig()
+    # Configuration #1 uses the same 272KB normalisation baseline as the
+    # experiments (MRF + the 16KB RFC budget), so printed IPC numbers
+    # are directly comparable to the figures.
+    config = (table2_config(args.config) if args.config != 1
+              else baseline_config())
     if args.latency is not None:
         config = config.with_latency_multiple(args.latency)
-    kernel = get_kernel(args.workload)
-    sm = StreamingMultiprocessor(config, policy_by_name(args.policy))
-    result = sm.run(kernel)
+    result = Runner().simulate(args.workload, args.policy, config)
     print(f"workload           {args.workload}")
     print(f"policy             {args.policy}")
     print(f"config             #{args.config} "
@@ -126,19 +132,27 @@ def _cmd_compile(args) -> None:
               f"|WS|={region.working_set_size:2d} {{{regs}}}")
 
 
-def _cmd_experiment(names: List[str]) -> None:
+def _cmd_experiment(names: List[str], jobs: int) -> None:
     runner = Runner()
     selected = sorted(EXPERIMENTS) if "all" in names else names
     for name in selected:
-        result = EXPERIMENTS[name](runner)
+        result = EXPERIMENTS[name](runner, jobs)
         print(result.render())
         print()
 
 
 def _cmd_sweep(args) -> None:
     runner = Runner()
-    for policy in args.policies.split(","):
-        policy = policy.strip()
+    policies = [policy.strip() for policy in args.policies.split(",")]
+    runner.simulate_many(
+        [
+            request
+            for policy in policies
+            for request in sweep_requests(policy, args.workload)
+        ],
+        jobs=args.jobs,
+    )
+    for policy in policies:
         sweep = normalized_sweep(runner, policy, args.workload)
         tolerable = max_tolerable_latency(sweep)
         curve = "  ".join(f"{value:.2f}" for value in sweep)
@@ -163,7 +177,7 @@ def main(argv: List[str] = None) -> int:
     elif args.command == "compile":
         _cmd_compile(args)
     elif args.command == "experiment":
-        _cmd_experiment(args.names)
+        _cmd_experiment(args.names, args.jobs)
     elif args.command == "sweep":
         _cmd_sweep(args)
     return 0

@@ -11,12 +11,15 @@ from repro.experiments.latency_tolerance import (
     fig14,
     max_tolerable_latency,
     normalized_sweep,
+    sweep_requests,
 )
 from repro.experiments.report import ExperimentResult, geomean, mean, render_table
 from repro.experiments.runner import (
     Runner,
     RunRecord,
+    SimRequest,
     baseline_config,
+    default_cache_dir,
     sweep_config,
     table2_config,
 )
@@ -28,7 +31,9 @@ __all__ = [
     "RunRecord",
     "Runner",
     "SWEEP_SUBSET",
+    "SimRequest",
     "baseline_config",
+    "default_cache_dir",
     "fig2",
     "fig3",
     "fig4",
@@ -46,6 +51,7 @@ __all__ = [
     "render_table",
     "storage_report",
     "sweep_config",
+    "sweep_requests",
     "table1",
     "table2",
     "table2_config",

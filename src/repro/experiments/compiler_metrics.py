@@ -15,7 +15,11 @@ from repro.arch.config import WARP_REGISTER_BYTES
 from repro.arch.wcb import wcb_storage_bits
 from repro.compiler import compile_kernel, region_length_comparison
 from repro.experiments.report import ExperimentResult, mean
-from repro.experiments.runner import Runner, baseline_config, table2_config
+from repro.experiments.runner import (
+    Runner,
+    simulate_vs_baseline,
+    table2_config,
+)
 from repro.workloads import EVALUATION, get_kernel, workload_names
 
 
@@ -53,7 +57,8 @@ def table4(workloads: Optional[List[str]] = None) -> ExperimentResult:
 
 
 def overheads(runner: Runner,
-              workloads: Optional[List[str]] = None) -> ExperimentResult:
+              workloads: Optional[List[str]] = None,
+              jobs: Optional[int] = None) -> ExperimentResult:
     """Section 4.3: code size, WCB storage, MRF access reduction."""
     names = list(workloads) if workloads is not None else list(EVALUATION)
     embedded, explicit, reductions = [], [], []
@@ -62,12 +67,12 @@ def overheads(runner: Runner,
         "LTRF overheads: code size, storage, and MRF traffic",
         ("Workload", "Code +bit", "Code +instr", "MRF access reduction"),
     )
-    config6 = table2_config(6)
-    for name in names:
+    comparison = simulate_vs_baseline(
+        runner, names, ("LTRF",), table2_config(6), jobs=jobs
+    )
+    for name, base, (ltrf,) in comparison:
         compiled = compile_kernel(get_kernel(name))
         report = compiled.code_size
-        base = runner.simulate(name, "BL", baseline_config())
-        ltrf = runner.simulate(name, "LTRF", config6)
         base_rate = base.mrf_accesses / max(1, base.instructions)
         ltrf_rate = ltrf.mrf_accesses / max(1, ltrf.instructions)
         reduction = base_rate / ltrf_rate if ltrf_rate else 0.0

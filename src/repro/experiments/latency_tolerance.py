@@ -9,6 +9,12 @@ Figure 11's metric is the *maximum tolerable register file access
 latency*: the largest multiple whose IPC loss stays within a threshold
 (5% headline; 1% and 10% variants in the text).  We evaluate the sweep
 on a fixed grid and interpolate the crossing linearly.
+
+Each figure declares its full ``(workload, policy, latency)`` grid up
+front and warms the cache through :meth:`Runner.simulate_many` (the
+batch engine), so ``jobs=N`` runs the grid on worker processes; the
+per-sweep normalisation below then consumes pure memory-cache hits and
+renders identically for any job count.
 """
 
 from __future__ import annotations
@@ -16,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.report import ExperimentResult, mean
-from repro.experiments.runner import Runner, sweep_config
+from repro.experiments.runner import Runner, SimRequest, sweep_config
 from repro.workloads import EVALUATION, SUITE
 
 #: The latency grid of Figures 12-14 (x axis: 1x..7x).
@@ -31,20 +37,27 @@ FIG14_POLICIES = ("BL", "RFC", "SHRF", "LTRF-strand", "LTRF")
 FIG11_POLICIES = ("BL", "RFC", "LTRF", "LTRF+")
 
 
+def sweep_requests(policy: str, workload: str,
+                   grid: Sequence[float] = LATENCY_GRID,
+                   **config_overrides) -> List[SimRequest]:
+    """The batch requests for one design's latency sweep."""
+    return [
+        SimRequest(workload, policy, sweep_config(m, **config_overrides))
+        for m in grid
+    ]
+
+
 def normalized_sweep(runner: Runner, policy: str, workload: str,
                      grid: Sequence[float] = LATENCY_GRID,
+                     jobs: Optional[int] = None,
                      **config_overrides) -> List[float]:
     """IPC at each grid point, normalised to the same design at 1x."""
-    values = []
-    base = None
-    for multiple in grid:
-        record = runner.simulate(
-            workload, policy, sweep_config(multiple, **config_overrides)
-        )
-        if base is None:
-            base = record.ipc
-        values.append(record.ipc / base if base else 0.0)
-    return values
+    records = runner.simulate_many(
+        sweep_requests(policy, workload, grid, **config_overrides),
+        jobs=jobs,
+    )
+    base = records[0].ipc if records else 0.0
+    return [record.ipc / base if base else 0.0 for record in records]
 
 
 def max_tolerable_latency(normalized: Sequence[float],
@@ -69,13 +82,23 @@ def max_tolerable_latency(normalized: Sequence[float],
 
 
 def fig11(runner: Runner, workloads: Optional[List[str]] = None,
-          loss: float = 0.05) -> ExperimentResult:
+          loss: float = 0.05,
+          jobs: Optional[int] = None) -> ExperimentResult:
     """Maximum tolerable register file latency per design per workload."""
     names = list(workloads) if workloads is not None else list(EVALUATION)
     result = ExperimentResult(
         "Figure 11",
         f"Maximum tolerable RF latency (<= {loss:.0%} IPC loss)",
         ("Workload", "Category") + FIG11_POLICIES,
+    )
+    runner.simulate_many(
+        [
+            request
+            for name in names
+            for policy in FIG11_POLICIES
+            for request in sweep_requests(policy, name)
+        ],
+        jobs=jobs,
     )
     series: Dict[str, List[float]] = {p: [] for p in FIG11_POLICIES}
     for name in names:
@@ -93,13 +116,25 @@ def fig11(runner: Runner, workloads: Optional[List[str]] = None,
 
 
 def fig12(runner: Runner, workloads: Optional[List[str]] = None,
-          interval_sizes: Sequence[int] = (8, 16, 32)) -> ExperimentResult:
+          interval_sizes: Sequence[int] = (8, 16, 32),
+          jobs: Optional[int] = None) -> ExperimentResult:
     """LTRF IPC vs latency for different registers-per-interval budgets."""
     names = list(workloads) if workloads is not None else list(SWEEP_SUBSET)
     result = ExperimentResult(
         "Figure 12",
         "LTRF normalised IPC vs MRF latency and interval size",
         ("Relative latency",) + tuple(f"{n} regs" for n in interval_sizes),
+    )
+    runner.simulate_many(
+        [
+            request
+            for size in interval_sizes
+            for name in names
+            for request in sweep_requests(
+                "LTRF", name, regs_per_interval=size
+            )
+        ],
+        jobs=jobs,
     )
     curves = {}
     for size in interval_sizes:
@@ -123,13 +158,23 @@ def fig12(runner: Runner, workloads: Optional[List[str]] = None,
 
 
 def fig13(runner: Runner, workloads: Optional[List[str]] = None,
-          pools: Sequence[int] = (4, 8, 16)) -> ExperimentResult:
+          pools: Sequence[int] = (4, 8, 16),
+          jobs: Optional[int] = None) -> ExperimentResult:
     """LTRF IPC vs latency for different active-warp pool sizes."""
     names = list(workloads) if workloads is not None else list(SWEEP_SUBSET)
     result = ExperimentResult(
         "Figure 13",
         "LTRF normalised IPC vs MRF latency and active warps",
         ("Relative latency",) + tuple(f"{n} warps" for n in pools),
+    )
+    runner.simulate_many(
+        [
+            request
+            for pool in pools
+            for name in names
+            for request in sweep_requests("LTRF", name, active_warps=pool)
+        ],
+        jobs=jobs,
     )
     curves = {}
     for pool in pools:
@@ -153,13 +198,23 @@ def fig13(runner: Runner, workloads: Optional[List[str]] = None,
     return result
 
 
-def fig14(runner: Runner, workloads: Optional[List[str]] = None) -> ExperimentResult:
+def fig14(runner: Runner, workloads: Optional[List[str]] = None,
+          jobs: Optional[int] = None) -> ExperimentResult:
     """Normalised IPC vs latency for all five designs."""
     names = list(workloads) if workloads is not None else list(SWEEP_SUBSET)
     result = ExperimentResult(
         "Figure 14",
         "Normalised IPC vs MRF latency: BL/RFC/SHRF/LTRF-strand/LTRF",
         ("Relative latency",) + FIG14_POLICIES,
+    )
+    runner.simulate_many(
+        [
+            request
+            for policy in FIG14_POLICIES
+            for name in names
+            for request in sweep_requests(policy, name)
+        ],
+        jobs=jobs,
     )
     curves = {}
     for policy in FIG14_POLICIES:

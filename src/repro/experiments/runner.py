@@ -1,4 +1,4 @@
-"""Simulation runner with on-disk result caching.
+"""Simulation runner: caching plus a parallel batch execution engine.
 
 Every experiment reduces to "simulate workload X under policy P on
 configuration C".  The runner centralises that, memoises results both
@@ -6,6 +6,21 @@ in memory and on disk (keyed by a fingerprint of the inputs), and
 returns slim :class:`RunRecord` objects.  The latency sweeps of
 Figures 11-14 revisit the same grid points, so caching cuts the full
 reproduction from thousands of simulations to a few hundred.
+
+Grid points share nothing but the cache, so they are embarrassingly
+parallel: :meth:`Runner.simulate_many` accepts a whole experiment grid
+of :class:`SimRequest` objects, deduplicates them against the cache
+*before* dispatch, fans the remaining misses out over a
+``ProcessPoolExecutor``, and merges results back keyed by request --
+the returned list is aligned with the input order regardless of
+completion order, so ``jobs=N`` is bit-for-bit equivalent to serial
+execution.
+
+On-disk entries are published atomically (temp file + ``os.replace``),
+so concurrent runners -- pool workers, parallel pytest sessions, two
+terminals -- can share one cache directory: readers only ever observe
+complete files, and a corrupt entry (e.g. from a crash predating the
+atomic writes) is deleted on load and regenerated.
 """
 
 from __future__ import annotations
@@ -13,21 +28,33 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, fields
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.arch.config import GPUConfig
 from repro.arch.sm import StreamingMultiprocessor
 from repro.policies import policy_by_name
 from repro.workloads import get_kernel
 
-#: Default on-disk cache location (created on demand).
-DEFAULT_CACHE_DIR = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__))
-    ))),
-    ".ltrf_cache",
-)
+
+def default_cache_dir() -> str:
+    """Resolve the default on-disk cache location.
+
+    ``LTRF_CACHE_DIR`` wins when set; otherwise the cache lives under
+    the current working directory.  (Deriving it from ``__file__``, as
+    early versions did, writes next to site-packages for a
+    pip-installed package.)
+    """
+    configured = os.environ.get("LTRF_CACHE_DIR")
+    if configured:
+        return configured
+    return os.path.join(os.getcwd(), ".ltrf_cache")
+
+
+#: Sentinel distinguishing "use the default" from "no disk cache" (None).
+_DEFAULT_CACHE = object()
 
 
 @dataclass(frozen=True)
@@ -67,6 +94,66 @@ class RunRecord:
         return self.rfc_read_hits / total if total else 0.0
 
 
+@dataclass(frozen=True)
+class SimRequest:
+    """One grid point: the unit of work of the batch engine."""
+
+    workload: str
+    policy: str
+    config: GPUConfig
+    seed: int = 0
+
+
+def execute_request(request: SimRequest) -> RunRecord:
+    """Run one simulation, bypassing every cache.
+
+    Module-level (rather than a ``Runner`` method) so pool workers can
+    unpickle it; the simulator is deterministic in ``(request,)``, which
+    is what makes parallel and serial execution interchangeable.
+    """
+    kernel = get_kernel(request.workload)
+    sm = StreamingMultiprocessor(
+        request.config, policy_by_name(request.policy)
+    )
+    result = sm.run(kernel, seed=request.seed)
+    return RunRecord(
+        workload=request.workload,
+        policy=request.policy,
+        ipc=result.ipc,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        prefetch_operations=result.prefetch_operations,
+        resident_warps=result.resident_warps,
+        activations=result.activations,
+        deactivations=result.deactivations,
+        mrf_reads=result.mrf_reads,
+        mrf_writes=result.mrf_writes,
+        rfc_reads=result.rfc_reads,
+        rfc_writes=result.rfc_writes,
+        rfc_read_hits=result.rfc_read_hits,
+        rfc_read_misses=result.rfc_read_misses,
+        rfc_fills=result.rfc_fills,
+        rfc_writebacks=result.rfc_writebacks,
+        l1_hit_rate=result.l1_hit_rate,
+    )
+
+
+@dataclass
+class RunnerStats:
+    """Cache/engine counters, exposed for tests and tooling."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    simulated: int = 0
+    batch_requests: int = 0
+    batch_deduplicated: int = 0
+    batch_dispatched: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
 def _config_fingerprint(config: GPUConfig) -> str:
     payload = {
         field.name: getattr(config, field.name)
@@ -81,9 +168,12 @@ def _config_fingerprint(config: GPUConfig) -> str:
 class Runner:
     """Cached simulation front-end used by all experiments."""
 
-    def __init__(self, cache_dir: Optional[str] = DEFAULT_CACHE_DIR) -> None:
+    def __init__(self, cache_dir: Optional[str] = _DEFAULT_CACHE) -> None:
+        if cache_dir is _DEFAULT_CACHE:
+            cache_dir = default_cache_dir()
         self.cache_dir = cache_dir
         self._memory_cache: Dict[str, RunRecord] = {}
+        self.stats = RunnerStats()
         if cache_dir is not None:
             os.makedirs(cache_dir, exist_ok=True)
 
@@ -93,6 +183,11 @@ class Runner:
              seed: int) -> str:
         return f"{workload}__{policy}__{_config_fingerprint(config)}__{seed}"
 
+    def request_key(self, request: SimRequest) -> str:
+        return self._key(
+            request.workload, request.policy, request.config, request.seed
+        )
+
     def _cache_path(self, key: str) -> Optional[str]:
         if self.cache_dir is None:
             return None
@@ -101,60 +196,150 @@ class Runner:
 
     def _load(self, key: str) -> Optional[RunRecord]:
         if key in self._memory_cache:
+            self.stats.memory_hits += 1
             return self._memory_cache[key]
         path = self._cache_path(key)
-        if path is None or not os.path.exists(path):
+        if path is None:
             return None
         try:
-            with open(path) as handle:
+            handle = open(path)
+        except FileNotFoundError:
+            return None
+        try:
+            with handle:
+                read_stat = os.fstat(handle.fileno())
                 payload = json.load(handle)
             record = RunRecord(**payload)
         except (ValueError, TypeError, KeyError):
-            return None          # stale cache entry from an older schema
+            # Truncated (crash predating atomic writes) or stale-schema
+            # entry: delete it so the next store regenerates it cleanly.
+            # Only remove the exact file we inspected -- a concurrent
+            # writer may have already republished a valid entry here.
+            try:
+                if os.stat(path).st_ino == read_stat.st_ino:
+                    os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.stats.disk_hits += 1
         self._memory_cache[key] = record
         return record
 
     def _store(self, key: str, record: RunRecord) -> None:
         self._memory_cache[key] = record
         path = self._cache_path(key)
-        if path is not None:
-            with open(path, "w") as handle:
+        if path is None:
+            return
+        # Atomic publish: write a sibling temp file and os.replace it in,
+        # so concurrent readers never observe a partially written entry
+        # and racing writers (which compute identical payloads) last-win.
+        fd, tmp_path = tempfile.mkstemp(
+            dir=self.cache_dir, prefix=".write-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
                 json.dump(asdict(record), handle)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
+            raise
 
-    # -- simulation -------------------------------------------------------------
+    # -- simulation ---------------------------------------------------------
 
     def simulate(self, workload: str, policy: str, config: GPUConfig,
                  seed: int = 0) -> RunRecord:
         """Run (or fetch from cache) one simulation."""
-        key = self._key(workload, policy, config, seed)
+        request = SimRequest(workload, policy, config, seed)
+        key = self.request_key(request)
         cached = self._load(key)
         if cached is not None:
             return cached
-        kernel = get_kernel(workload)
-        sm = StreamingMultiprocessor(config, policy_by_name(policy))
-        result = sm.run(kernel, seed=seed)
-        record = RunRecord(
-            workload=workload,
-            policy=policy,
-            ipc=result.ipc,
-            cycles=result.cycles,
-            instructions=result.instructions,
-            prefetch_operations=result.prefetch_operations,
-            resident_warps=result.resident_warps,
-            activations=result.activations,
-            deactivations=result.deactivations,
-            mrf_reads=result.mrf_reads,
-            mrf_writes=result.mrf_writes,
-            rfc_reads=result.rfc_reads,
-            rfc_writes=result.rfc_writes,
-            rfc_read_hits=result.rfc_read_hits,
-            rfc_read_misses=result.rfc_read_misses,
-            rfc_fills=result.rfc_fills,
-            rfc_writebacks=result.rfc_writebacks,
-            l1_hit_rate=result.l1_hit_rate,
-        )
+        record = execute_request(request)
+        self.stats.simulated += 1
         self._store(key, record)
         return record
+
+    def simulate_many(self, requests: Iterable[SimRequest],
+                      jobs: Optional[int] = None) -> List[RunRecord]:
+        """Run a whole grid of simulations, optionally in parallel.
+
+        Requests are deduplicated (against each other and against the
+        memory/disk cache) before dispatch; only genuine misses are
+        simulated.  With ``jobs`` > 1 the misses run on a process pool.
+        The returned list is aligned with ``requests`` and independent
+        of completion order, so results are identical for any ``jobs``.
+        """
+        requests = list(requests)
+        keys = [self.request_key(request) for request in requests]
+        self.stats.batch_requests += len(requests)
+
+        results: Dict[str, RunRecord] = {}
+        pending: Dict[str, SimRequest] = {}
+        for key, request in zip(keys, requests):
+            if key in results or key in pending:
+                self.stats.batch_deduplicated += 1
+                continue
+            cached = self._load(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                pending[key] = request
+        self.stats.batch_dispatched += len(pending)
+
+        if pending:
+            items = list(pending.items())
+            if jobs is not None and jobs > 1 and len(items) > 1:
+                workers = min(jobs, len(items))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = {
+                        pool.submit(execute_request, request): key
+                        for key, request in items
+                    }
+                    for future in as_completed(futures):
+                        key = futures[future]
+                        record = future.result()
+                        self.stats.simulated += 1
+                        self._store(key, record)
+                        results[key] = record
+            else:
+                for key, request in items:
+                    record = execute_request(request)
+                    self.stats.simulated += 1
+                    self._store(key, record)
+                    results[key] = record
+        return [results[key] for key in keys]
+
+
+def simulate_vs_baseline(runner: "Runner", workloads: Iterable[str],
+                         policies: Iterable[str], config: GPUConfig,
+                         jobs: Optional[int] = None):
+    """Batch-simulate each workload under ``policies`` on ``config``
+    plus the BL normalisation baseline (the grid shape shared by
+    Figures 3, 9, 10 and the overhead accounting).
+
+    Returns ``[(workload, baseline_record, policy_records), ...]`` with
+    ``policy_records`` aligned with ``policies``.
+    """
+    workloads = list(workloads)
+    policies = list(policies)
+    base_config = baseline_config()
+    grid = []
+    for name in workloads:
+        grid.append(SimRequest(name, "BL", base_config))
+        grid.extend(SimRequest(name, policy, config) for policy in policies)
+    records = runner.simulate_many(grid, jobs=jobs)
+    width = 1 + len(policies)
+    return [
+        (
+            name,
+            records[width * index],
+            records[width * index + 1:width * (index + 1)],
+        )
+        for index, name in enumerate(workloads)
+    ]
 
 
 # -- standard configurations --------------------------------------------------

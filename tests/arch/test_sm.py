@@ -172,3 +172,57 @@ class TestPolicyInvariants:
     def test_policy_by_name_unknown(self):
         with pytest.raises(ValueError):
             policy_by_name("L2-prefetch")
+
+
+def shared_memory_kernel(iterations=10):
+    return (
+        KernelBuilder("shared")
+        .block("entry").alu(0, 1)
+        .block("loop")
+        .load(2, stream=0, footprint=16 * 1024, shared=True)
+        .fma(3, 2, 0, 3)
+        .branch("loop", trip_count=iterations)
+        .block("end")
+        .store(3, stream=1, footprint=16 * 1024, shared=True)
+        .exit()
+        .build()
+    )
+
+
+class TestSharedMemory:
+    """Shared-memory LD/ST are scratchpad accesses: fixed latency,
+    outside the L1/LLC hierarchy (the collapsed branch in SM._issue)."""
+
+    def test_shared_ops_bypass_cache_hierarchy(self):
+        sm = StreamingMultiprocessor(small_config(), POLICIES["BL"])
+        result = sm.run(shared_memory_kernel())
+        assert sm.memory.stats.l1_accesses == 0
+        assert result.l1_hit_rate == 0.0
+
+    def test_shared_ops_never_deactivate(self):
+        sm = StreamingMultiprocessor(small_config(), POLICIES["BL"])
+        result = sm.run(shared_memory_kernel())
+        assert result.deactivations == 0
+
+    def test_shared_load_pays_fixed_latency(self):
+        # A dependent chain through a shared load must cost more cycles
+        # than the same chain through a 1-cycle ALU op.
+        def chain(shared):
+            builder = KernelBuilder("chain").block("entry").alu(0, 1)
+            builder = builder.block("loop")
+            if shared:
+                builder = builder.load(
+                    2, stream=0, footprint=16 * 1024, shared=True
+                )
+            else:
+                builder = builder.alu(2, 0)
+            kernel = (
+                builder.fma(3, 2, 0, 3)
+                .branch("loop", trip_count=20)
+                .block("end").exit()
+                .build()
+            )
+            sm = StreamingMultiprocessor(small_config(), POLICIES["BL"])
+            return sm.run(kernel, resident_warps=1)
+
+        assert chain(shared=True).cycles > chain(shared=False).cycles

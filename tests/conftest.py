@@ -1,0 +1,23 @@
+"""Shared test fixtures: keep Runner() instances out of the cwd cache.
+
+CLI-driven tests construct ``Runner()`` with the default cache
+directory; without isolation they would write ``.ltrf_cache/`` into
+the developer's working directory and read stale entries cached by
+other branches (the cache key fingerprints the configuration, not the
+simulator code).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_cache(tmp_path_factory):
+    previous = os.environ.get("LTRF_CACHE_DIR")
+    os.environ["LTRF_CACHE_DIR"] = str(tmp_path_factory.mktemp("ltrf-cache"))
+    yield
+    if previous is None:
+        os.environ.pop("LTRF_CACHE_DIR", None)
+    else:
+        os.environ["LTRF_CACHE_DIR"] = previous

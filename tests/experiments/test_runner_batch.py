@@ -1,0 +1,121 @@
+"""Tests for the parallel batch engine and cache hardening."""
+
+import json
+import os
+from dataclasses import asdict
+
+import pytest
+
+from repro.arch import GPUConfig
+from repro.experiments import Runner, SimRequest
+from repro.experiments.runner import default_cache_dir
+
+#: Small config so each simulation finishes quickly.
+SMALL = GPUConfig(max_resident_warps=8, active_warps=4)
+
+
+def small_grid():
+    return [
+        SimRequest(workload, policy, SMALL)
+        for workload in ("btree", "kmeans")
+        for policy in ("BL", "RFC")
+    ]
+
+
+class TestSimulateMany:
+    def test_matches_simulate_in_request_order(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        requests = small_grid()
+        records = runner.simulate_many(requests)
+        for request, record in zip(requests, records):
+            assert record == runner.simulate(
+                request.workload, request.policy, request.config
+            )
+            assert (record.workload, record.policy) == (
+                request.workload, request.policy
+            )
+
+    def test_parallel_matches_serial_byte_identical(self, tmp_path):
+        requests = small_grid()
+        serial = Runner(cache_dir=None).simulate_many(requests)
+        parallel = Runner(cache_dir=str(tmp_path)).simulate_many(
+            requests, jobs=4
+        )
+        assert serial == parallel
+        serial_bytes = [json.dumps(asdict(r), sort_keys=True) for r in serial]
+        parallel_bytes = [
+            json.dumps(asdict(r), sort_keys=True) for r in parallel
+        ]
+        assert serial_bytes == parallel_bytes
+
+    def test_dedups_before_dispatch(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        request = SimRequest("btree", "BL", SMALL)
+        records = runner.simulate_many([request, request, request])
+        assert runner.stats.simulated == 1
+        assert runner.stats.batch_deduplicated == 2
+        assert runner.stats.batch_dispatched == 1
+        assert records[0] == records[1] == records[2]
+
+    def test_warm_cache_dispatches_nothing(self, tmp_path):
+        request = SimRequest("btree", "BL", SMALL)
+        Runner(cache_dir=str(tmp_path)).simulate_many([request])
+        warm = Runner(cache_dir=str(tmp_path))
+        warm.simulate_many([request], jobs=4)
+        assert warm.stats.simulated == 0
+        assert warm.stats.batch_dispatched == 0
+        assert warm.stats.disk_hits == 1
+
+
+class TestCacheHardening:
+    def _entry_path(self, runner, request):
+        return runner._cache_path(runner.request_key(request))
+
+    def test_corrupt_entry_deleted_and_regenerated(self, tmp_path):
+        request = SimRequest("btree", "BL", SMALL)
+        first = Runner(cache_dir=str(tmp_path))
+        record = first.simulate(request.workload, request.policy, SMALL)
+        path = self._entry_path(first, request)
+        # Truncate the entry as a pre-atomic-write crash would have.
+        with open(path, "w") as handle:
+            handle.write('{"workload": "btr')
+        fresh = Runner(cache_dir=str(tmp_path))
+        assert fresh._load(fresh.request_key(request)) is None
+        assert not os.path.exists(path)  # corrupt entry dropped
+        regenerated = fresh.simulate(request.workload, request.policy, SMALL)
+        assert regenerated == record
+        with open(path) as handle:
+            assert json.load(handle) == asdict(record)
+
+    def test_stale_schema_entry_deleted(self, tmp_path):
+        request = SimRequest("btree", "BL", SMALL)
+        runner = Runner(cache_dir=str(tmp_path))
+        path = self._entry_path(runner, request)
+        with open(path, "w") as handle:
+            json.dump({"workload": "btree", "unknown_field": 1}, handle)
+        assert runner._load(runner.request_key(request)) is None
+        assert not os.path.exists(path)
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        runner.simulate_many(small_grid(), jobs=2)
+        leftovers = [
+            name for name in os.listdir(tmp_path)
+            if name.startswith(".write-")
+        ]
+        assert leftovers == []
+
+
+class TestDefaultCacheDir:
+    def test_env_var_wins(self, monkeypatch, tmp_path):
+        target = str(tmp_path / "env-cache")
+        monkeypatch.setenv("LTRF_CACHE_DIR", target)
+        assert default_cache_dir() == target
+        runner = Runner()
+        assert runner.cache_dir == target
+        assert os.path.isdir(target)
+
+    def test_falls_back_to_cwd(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("LTRF_CACHE_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert default_cache_dir() == str(tmp_path / ".ltrf_cache")

@@ -51,3 +51,16 @@ def test_experiment_registry_is_complete():
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_experiment_jobs_flag(capsys):
+    assert main(["experiment", "table1", "--jobs", "2"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_simulate_uses_baseline_config(capsys):
+    # Configuration #1 must be the 272KB normalisation baseline the
+    # figures use, not a bare GPUConfig().
+    main(["simulate", "btree", "--policy", "BL"])
+    out = capsys.readouterr().out
+    assert "272KB" in out
