@@ -10,6 +10,13 @@ EXPERIMENTS.md for full-scale results).
 Set ``LTRF_BENCH_JOBS=N`` to fan each benchmark's simulation grid out
 over N worker processes on a cold cache (results are identical to the
 serial run; see Runner.simulate_many).
+
+These benchmarks double as the CI perf-regression gate: the ``bench``
+job runs them cold and serial (fresh ``LTRF_CACHE_DIR``,
+``LTRF_BENCH_JOBS=1``) so the medians measure simulator speed, then
+``scripts/check_bench_regression.py`` compares them against the
+committed ``BENCH_baseline.json`` (see the README's "Performance
+gate" section, including how to re-baseline intentionally).
 """
 
 import os

@@ -1,6 +1,6 @@
 """Ablation benchmarks for DESIGN.md's called-out design choices."""
 
-from repro.experiments import Runner, table2_config, baseline_config
+from repro.experiments import table2_config, baseline_config
 from repro.experiments.report import geomean
 
 WORKLOADS = ["btree", "backprop", "srad"]

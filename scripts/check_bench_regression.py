@@ -1,0 +1,137 @@
+"""Perf-regression gate: compare a pytest-benchmark JSON to the baseline.
+
+Usage:
+    python scripts/check_bench_regression.py CURRENT.json [BASELINE.json]
+    python scripts/check_bench_regression.py CURRENT.json --update
+
+Exits non-zero if the median of any benchmark regresses more than the
+threshold (default 25%, override with ``--threshold`` or the
+``LTRF_BENCH_THRESHOLD`` environment variable, e.g. ``0.25``) against
+the committed baseline.  Benchmarks present only in the current run are
+reported as new (not failures); benchmarks that disappeared fail the
+gate so the baseline never silently rots.
+
+``--update`` rewrites the baseline from the current run (keeping only
+the fields the gate compares, so the committed file stays small and
+machine-noise like timestamps never churns the diff).  Re-baselining is
+a deliberate act: do it when a PR intentionally changes performance,
+and say so in the PR description.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_baseline.json",
+)
+
+
+def load_medians(path: str) -> dict:
+    """``{benchmark fullname: median seconds}`` from a benchmark JSON."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    medians = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("fullname") or bench["name"]
+        medians[name] = bench["stats"]["median"]
+    return medians
+
+
+def write_baseline(path: str, current_path: str) -> None:
+    with open(current_path) as handle:
+        payload = json.load(handle)
+    slim = {
+        "machine_info": {
+            key: payload.get("machine_info", {}).get(key)
+            for key in ("node", "processor", "cpu", "python_version")
+        },
+        "benchmarks": [
+            {
+                "fullname": bench.get("fullname") or bench["name"],
+                "stats": {"median": bench["stats"]["median"]},
+            }
+            for bench in payload.get("benchmarks", [])
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(slim, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"baseline updated: {path} ({len(slim['benchmarks'])} benchmarks)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="benchmark JSON from this run")
+    parser.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--threshold", type=float,
+        default=float(os.environ.get("LTRF_BENCH_THRESHOLD", "0.25")),
+        help="allowed median regression fraction (default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from the current run instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        write_baseline(args.baseline, args.current)
+        return 0
+
+    if not os.path.exists(args.baseline):
+        print(f"ERROR: no baseline at {args.baseline}; generate one with "
+              f"--update and commit it", file=sys.stderr)
+        return 2
+
+    current = load_medians(args.current)
+    baseline = load_medians(args.baseline)
+
+    failures = []
+    lines = []
+    for name in sorted(baseline):
+        if name not in current:
+            failures.append(f"{name}: present in baseline but not run")
+            continue
+        base = baseline[name]
+        now = current[name]
+        ratio = now / base if base else float("inf")
+        # The +50ms absolute slack keeps sub-millisecond benchmarks
+        # (static tables) from tripping the relative gate on timer
+        # noise; any benchmark long enough to measure is gated by the
+        # relative threshold alone.
+        allowed = base * (1.0 + args.threshold) + 0.05
+        flag = ""
+        if now > allowed:
+            flag = "  << REGRESSION"
+            failures.append(
+                f"{name}: median {now:.4f}s vs baseline {base:.4f}s "
+                f"({ratio:.2f}x > {1.0 + args.threshold:.2f}x allowed)"
+            )
+        lines.append(f"  {name}: {base:.4f}s -> {now:.4f}s "
+                     f"({ratio:.2f}x){flag}")
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"  {name}: NEW ({current[name]:.4f}s), not gated")
+
+    print(f"perf gate: threshold +{args.threshold:.0%}, "
+          f"{len(baseline)} baselined benchmark(s)")
+    print("\n".join(lines))
+    if failures:
+        print("\nFAIL: median regression(s) beyond threshold:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("\nIf this slowdown is intentional, re-baseline with:\n"
+              "  python scripts/check_bench_regression.py CURRENT.json "
+              "--update\nand commit BENCH_baseline.json.", file=sys.stderr)
+        return 1
+    print("OK: no benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,6 +89,8 @@ def main() -> None:
     for section in sections:
         print()
         print(section)
+    print()
+    print(f"[engine] {runner.render_telemetry()}")
 
 
 if __name__ == "__main__":

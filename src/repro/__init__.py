@@ -31,7 +31,9 @@ Quickstart
 True
 """
 
-from repro.arch import GPUConfig, MemoryConfig, SimulationResult, StreamingMultiprocessor
+from repro.arch import (
+    GPUConfig, MemoryConfig, SimulationResult, StreamingMultiprocessor,
+)
 from repro.compiler import CompiledKernel, compile_kernel
 from repro.ir import Kernel, KernelBuilder
 from repro.policies import POLICIES, policy_by_name

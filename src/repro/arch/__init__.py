@@ -1,6 +1,7 @@
-"""Hardware substrate: the cycle-level SM model (GPGPU-Sim substitute)."""
+"""Hardware substrate: the event-driven SM model (GPGPU-Sim substitute)."""
 
 from repro.arch.address_alloc import AddressAllocationUnit, AllocationError
+from repro.arch.events import EventKind, EventQueue
 from repro.arch.config import (
     WARP_REGISTER_BYTES,
     GPUConfig,
@@ -22,6 +23,8 @@ __all__ = [
     "GPUResult",
     "AddressAllocationUnit",
     "AllocationError",
+    "EventKind",
+    "EventQueue",
     "GPUConfig",
     "MainRegisterFile",
     "MemoryConfig",

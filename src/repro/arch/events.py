@@ -1,0 +1,86 @@
+"""Wake-up event infrastructure for the event-driven SM core.
+
+The streaming multiprocessor schedules forward progress through one
+wake-up heap keyed by *absolute cycle*.  Latency-producing components
+never poll a per-cycle ``tick()``; they return completion times, and the
+SM registers each completion as a typed event:
+
+* ``MEMORY_RESPONSE`` -- an L1-miss load completes and its warp becomes
+  resumable (:meth:`repro.arch.memory.MemoryHierarchy.access`);
+* ``PREFETCH_ARRIVAL`` -- a PREFETCH (or activation refetch) bulk
+  transfer lands in the RFC
+  (:meth:`repro.arch.main_register_file.MainRegisterFile.bulk_read`);
+* ``SCOREBOARD_RELEASE`` -- a warp's pending register writes settle and
+  its next instruction becomes hazard-free
+  (:meth:`repro.arch.warp.Warp.dependencies_ready_at`);
+* ``WCB_DRAIN`` -- a deactivating/retiring warp's dirty registers finish
+  writing back to the MRF (instrumentation only: nothing in the modelled
+  microarchitecture waits on the drain, so the event wakes no warp).
+
+When no warp can issue, the SM pops the heap and jumps the clock
+directly to the earliest pending event instead of ticking idle cycles.
+
+Determinism: events are totally ordered by ``(cycle, sequence)`` where
+``sequence`` is the push order, so same-cycle events pop FIFO and a
+simulation replays identically run to run.  The engine additionally
+never *depends* on pop order for same-cycle warp wake-ups: woken warps
+are re-ordered by the scheduler's own keys (``(resume_at, warp_id)`` for
+activation, round-robin ``warp_id`` for issue), which is what makes the
+event engine observationally identical to the reference dense-tick
+engine (see ``tests/arch/test_engine_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+
+class EventKind:
+    """Event taxonomy: which component's completion wakes the SM."""
+
+    MEMORY_RESPONSE = "memory_response"
+    PREFETCH_ARRIVAL = "prefetch_arrival"
+    SCOREBOARD_RELEASE = "scoreboard_release"
+    WCB_DRAIN = "wcb_drain"
+
+    ALL = (MEMORY_RESPONSE, PREFETCH_ARRIVAL, SCOREBOARD_RELEASE, WCB_DRAIN)
+
+
+class EventQueue:
+    """Wake-up heap keyed by absolute cycle, with per-kind counters.
+
+    Entries are ``(cycle, seq, kind, payload)``; ``seq`` increases
+    monotonically with each push, so the heap's total order is
+    deterministic and same-cycle events drain in push (FIFO) order.
+    """
+
+    __slots__ = ("_heap", "_seq", "counts")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, str, object]] = []
+        self._seq = 0
+        #: Events pushed, by kind (the per-component event counters).
+        self.counts: Dict[str, int] = dict.fromkeys(EventKind.ALL, 0)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, cycle: int, kind: str, payload: object = None) -> None:
+        """Register a completion at absolute ``cycle``."""
+        self.counts[kind] += 1
+        heappush(self._heap, (cycle, self._seq, kind, payload))
+        self._seq += 1
+
+    def peek_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_due(self, cycle: int) -> List[Tuple[int, str, object]]:
+        """Pop every event with ``event.cycle <= cycle``, FIFO per cycle."""
+        due: List[Tuple[int, str, object]] = []
+        heap = self._heap
+        while heap and heap[0][0] <= cycle:
+            entry = heappop(heap)
+            due.append((entry[0], entry[2], entry[3]))
+        return due

@@ -21,7 +21,21 @@ from repro.ir.kernel import Kernel
 
 @dataclass
 class GPUResult:
-    """Aggregate of all SMs' runs."""
+    """Aggregate of all SMs' runs.
+
+    Two IPC views exist because they answer different questions and
+    diverge when SM loads are skewed:
+
+    * :attr:`ipc` divides total instructions by the *slowest* SM's
+      cycles (chip completion time).  Fast SMs sit idle in that tail,
+      so with skewed loads the chip IPC under-reports what each SM
+      sustained while it was actually running;
+    * :attr:`sm_normalized_ipc` divides total instructions by total
+      per-SM busy cycles -- per-SM throughput with no idle-tail
+      double-counting.  Use it when comparing register-file policies
+      (the paper's per-SM metric); use :attr:`ipc` when asking how fast
+      the whole chip finished.
+    """
 
     per_sm: List[SimulationResult]
 
@@ -36,13 +50,42 @@ class GPUResult:
 
     @property
     def ipc(self) -> float:
-        """Chip-level IPC (instructions per chip cycle)."""
+        """Chip-level IPC: instructions per *chip* cycle.
+
+        The denominator is the slowest SM's completion time, so this
+        charges every SM for the straggler's idle tail.
+        """
         return self.instructions / self.cycles if self.cycles else 0.0
 
     @property
+    def sm_normalized_ipc(self) -> float:
+        """Per-SM-normalised IPC: instructions per SM *busy* cycle.
+
+        Weighted per-cycle aggregate (sum of instructions over sum of
+        cycles), immune to load skew across SMs.
+        """
+        total_cycles = sum(result.cycles for result in self.per_sm)
+        return self.instructions / total_cycles if total_cycles else 0.0
+
+    @property
     def mean_sm_ipc(self) -> float:
+        """Unweighted mean of the per-SM IPCs (each SM counts equally)."""
         values = [result.ipc for result in self.per_sm]
         return sum(values) / len(values) if values else 0.0
+
+    @property
+    def host_seconds(self) -> float:
+        """Total host wall-clock across the per-SM simulations."""
+        return sum(result.host_seconds for result in self.per_sm)
+
+    @property
+    def event_counts(self) -> dict:
+        """Wake-up events registered across all SMs, by kind."""
+        totals: dict = {}
+        for result in self.per_sm:
+            for kind, count in result.event_counts.items():
+                totals[kind] = totals.get(kind, 0) + count
+        return totals
 
 
 class GPU:

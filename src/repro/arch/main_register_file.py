@@ -26,7 +26,7 @@ Access counts feed the energy model (:mod:`repro.power.energy`).
 
 from __future__ import annotations
 
-from bisect import bisect_right, insort
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List
 
@@ -44,48 +44,84 @@ class MRFStats:
 
 
 class BankCalendar:
-    """Busy intervals of one bank, supporting out-of-order reservation."""
+    """Busy intervals of one bank, supporting out-of-order reservation.
+
+    Stored as parallel ``starts``/``ends`` integer arrays (sorted by
+    start, non-overlapping) rather than a list of pairs, so the bisect
+    probes compare machine integers instead of allocating throwaway
+    lists -- the calendar sits on the operand-collection hot path.
+    """
+
+    __slots__ = ("_starts", "_ends")
 
     def __init__(self) -> None:
-        self._intervals: List[List[int]] = []    # sorted [start, end) pairs
+        self._starts: List[int] = []
+        self._ends: List[int] = []
 
-    def reserve(self, cycle: int, duration: int) -> int:
+    def reserve(self, cycle: int, duration: int, floor: int = 0) -> int:
         """Reserve ``duration`` busy cycles at the earliest time >= ``cycle``.
 
         Returns the start cycle of the reservation.  Adjacent intervals
-        are merged to keep the calendar compact.
+        are merged to keep the calendar compact.  Reservations at or
+        past the calendar's end -- the common case, since most accesses
+        happen near the current cycle -- take the append fast path.
+
+        ``floor`` is a guarantee from the caller that no later
+        reservation will ask for a cycle below it; intervals ending at
+        or before the floor are dead history and are dropped in batches
+        so the calendar only ever holds the in-flight future window.
         """
-        intervals = self._intervals
-        index = bisect_right(intervals, [cycle + 1]) - 1
+        starts = self._starts
+        ends = self._ends
+        if len(ends) > 64 and ends[64] <= floor:
+            # ends is sorted (intervals are disjoint), so one bisect
+            # finds the whole dead prefix.
+            dead = bisect_right(ends, floor)
+            del starts[:dead]
+            del ends[:dead]
+        if not starts:
+            starts.append(cycle)
+            ends.append(cycle + duration)
+            return cycle
+        last_end = ends[-1]
+        if cycle >= last_end:
+            if cycle == last_end:
+                ends[-1] = cycle + duration
+            else:
+                starts.append(cycle)
+                ends.append(cycle + duration)
+            return cycle
+        index = bisect_right(starts, cycle) - 1
         start = cycle
-        if index >= 0 and intervals[index][1] > start:
-            start = intervals[index][1]
+        if index >= 0 and ends[index] > start:
+            start = ends[index]
         probe = index + 1
-        while probe < len(intervals) and intervals[probe][0] < start + duration:
-            start = max(start, intervals[probe][1])
+        count = len(starts)
+        while probe < count and starts[probe] < start + duration:
+            if ends[probe] > start:
+                start = ends[probe]
             probe += 1
         self._insert(start, start + duration)
         return start
 
     def _insert(self, start: int, end: int) -> None:
-        intervals = self._intervals
-        insort(intervals, [start, end])
-        index = bisect_right(intervals, [start, end]) - 1
+        starts = self._starts
+        ends = self._ends
+        index = bisect_right(starts, start)
+        starts.insert(index, start)
+        ends.insert(index, end)
         # Merge with the predecessor and any absorbed successors.
-        if index > 0 and intervals[index - 1][1] >= intervals[index][0]:
-            intervals[index - 1][1] = max(
-                intervals[index - 1][1], intervals[index][1]
-            )
-            del intervals[index]
+        if index > 0 and ends[index - 1] >= start:
+            if end > ends[index - 1]:
+                ends[index - 1] = end
+            del starts[index]
+            del ends[index]
             index -= 1
-        while (
-            index + 1 < len(intervals)
-            and intervals[index][1] >= intervals[index + 1][0]
-        ):
-            intervals[index][1] = max(
-                intervals[index][1], intervals[index + 1][1]
-            )
-            del intervals[index + 1]
+        while index + 1 < len(starts) and ends[index] >= starts[index + 1]:
+            if ends[index + 1] > ends[index]:
+                ends[index] = ends[index + 1]
+            del starts[index + 1]
+            del ends[index + 1]
 
 
 class MainRegisterFile:
@@ -97,9 +133,23 @@ class MainRegisterFile:
             BankCalendar() for _ in range(config.mrf_banks)
         ]
         self.stats = MRFStats()
+        # The config is frozen, so its derived timing properties are
+        # constants for this MRF's lifetime; snapshot them once rather
+        # than re-deriving (round/max arithmetic) on every access.
+        self._num_banks = config.mrf_banks
+        self._occupancy = config.mrf_bank_occupancy
+        self._bank_latency = config.mrf_bank_latency
+        self._transfer_latency = config.mrf_transfer_latency
+        self._crossbar_regs = config.crossbar_regs_per_cycle
+        # Low-water mark for calendar pruning: the SM clock observed at
+        # the most recent current-cycle access.  Reads and bulk
+        # transfers happen *at* the SM's cycle and the SM clock is
+        # monotonic, so no future reservation -- including result
+        # writes, which land strictly later -- can start below it.
+        self._now = 0
 
     def bank_of(self, warp_id: int, register: int) -> int:
-        return (warp_id + register) % self.config.mrf_banks
+        return (warp_id + register) % self._num_banks
 
     def _service(self, bank: int, cycle: int,
                  include_transfer: bool = True) -> int:
@@ -109,18 +159,45 @@ class MainRegisterFile:
         the crossbar traversal once for the whole streamed group rather
         than once per register.
         """
-        start = self._banks[bank].reserve(
-            cycle, self.config.mrf_bank_occupancy
-        )
-        done = start + self.config.mrf_bank_latency
+        start = self._banks[bank].reserve(cycle, self._occupancy, self._now)
+        done = start + self._bank_latency
         if include_transfer:
-            done += self.config.mrf_transfer_latency
+            done += self._transfer_latency
         return done
 
     def read(self, warp_id: int, register: int, cycle: int) -> int:
         """Read one warp-register; returns the cycle the value arrives."""
         self.stats.reads += 1
+        if cycle > self._now:
+            self._now = cycle
         return self._service(self.bank_of(warp_id, register), cycle)
+
+    def read_group(self, warp_id: int, registers, cycle: int) -> int:
+        """Read several warp-registers in parallel (operand collection).
+
+        Timing- and stats-identical to one :meth:`read` per register;
+        returns the cycle the *last* value arrives.  Exists because the
+        per-instruction operand gather is the hottest call in the whole
+        simulator and the per-register wrappers dominate it.
+        """
+        if cycle > self._now:
+            self._now = cycle
+        now = self._now
+        banks = self._banks
+        num_banks = self._num_banks
+        occupancy = self._occupancy
+        latency = self._bank_latency + self._transfer_latency
+        ready = cycle
+        count = 0
+        for register in registers:
+            count += 1
+            done = banks[(warp_id + register) % num_banks].reserve(
+                cycle, occupancy, now
+            ) + latency
+            if done > ready:
+                ready = done
+        self.stats.reads += count
+        return ready
 
     def write(self, warp_id: int, register: int, cycle: int) -> int:
         """Write one warp-register; returns the cycle the bank settles."""
@@ -138,6 +215,8 @@ class MainRegisterFile:
         registers = list(registers)
         if not registers:
             return cycle
+        if cycle > self._now:
+            self._now = cycle
         last_bank_done = cycle
         for register in registers:
             self.stats.reads += 1
@@ -145,14 +224,16 @@ class MainRegisterFile:
                 self.bank_of(warp_id, register), cycle, include_transfer=False
             )
             last_bank_done = max(last_bank_done, done)
-        transfer = self.config.mrf_transfer_latency + -(
-            -len(registers) // self.config.crossbar_regs_per_cycle
+        transfer = self._transfer_latency + -(
+            -len(registers) // self._crossbar_regs
         )
         return last_bank_done + transfer
 
     def bulk_write(self, warp_id: int, registers, cycle: int) -> int:
         """Write a register group (write-back); returns completion cycle."""
         registers = list(registers)
+        if registers and cycle > self._now:
+            self._now = cycle
         done = cycle
         for register in registers:
             done = max(done, self.write(warp_id, register, cycle))

@@ -27,6 +27,12 @@ class MemoryStats:
     l1_misses: int = 0
     llc_hits: int = 0
     llc_misses: int = 0
+    #: L1 misses whose completion lands at a future ready cycle.  An
+    #: upper bound on the SM's memory-response wake-up events: only the
+    #: missing *loads* deactivate a warp and get registered (stores are
+    #: fire-and-forget), so
+    #: ``event_counts["memory_response"] <= responses_scheduled``.
+    responses_scheduled: int = 0
 
     @property
     def l1_accesses(self) -> int:
@@ -64,7 +70,7 @@ class _SetAssociativeCache:
         return False
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one memory access."""
 
@@ -91,16 +97,24 @@ class MemoryHierarchy:
         self._dram_free = 0
 
     def access(self, address: int, cycle: int) -> AccessResult:
-        """Perform a global-memory access starting at ``cycle``."""
+        """Perform a global-memory access starting at ``cycle``.
+
+        The hierarchy is never polled: the returned
+        :attr:`AccessResult.ready_cycle` is the completion time, which
+        the SM registers as a memory-response wake-up event for any
+        warp the miss deactivates.
+        """
         config = self.config
+        stats = self.stats
         if self.l1.access(address):
-            self.stats.l1_hits += 1
+            stats.l1_hits += 1
             return AccessResult(cycle + config.l1_latency, "l1")
-        self.stats.l1_misses += 1
+        stats.l1_misses += 1
+        stats.responses_scheduled += 1
         if self.llc.access(address):
-            self.stats.llc_hits += 1
+            stats.llc_hits += 1
             return AccessResult(cycle + config.llc_latency, "llc")
-        self.stats.llc_misses += 1
+        stats.llc_misses += 1
         start = max(cycle, self._dram_free)
         self._dram_free = start + config.dram_service_interval
         return AccessResult(start + config.dram_latency, "dram")

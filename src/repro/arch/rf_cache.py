@@ -114,7 +114,13 @@ class RegisterFileCache:
         return cycle + self.config.rfc_latency
 
     def fill(self, wcb: WarpControlBlock, register: int) -> None:
-        """Install a clean copy fetched from the MRF (prefetch/reload)."""
+        """Install a clean copy fetched from the MRF (prefetch/reload).
+
+        Fills are not polled into place: the bulk transfer that carries
+        them (:meth:`repro.arch.main_register_file.MainRegisterFile.bulk_read`)
+        returns its completion cycle, which the SM registers as the
+        warp's prefetch-arrival wake-up event.
+        """
         self.stats.fills += 1
         wcb.valid.add(register)
         wcb.dirty.discard(register)

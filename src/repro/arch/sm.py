@@ -1,4 +1,4 @@
-"""The streaming multiprocessor: the simulator's main loop.
+"""The streaming multiprocessor: the simulator's scheduling core.
 
 A single-issue SM with a two-level warp scheduler (Section 3.2, after
 Narasiman et al. and Gebhart et al.):
@@ -16,17 +16,38 @@ The register policy (:mod:`repro.policies`) decides where operands live
 and what every access costs; the SM owns instruction issue, hazards,
 scheduling, and the memory hierarchy.
 
-Timing model: one issue slot per cycle.  When no warp can issue, the
-clock jumps to the next event, so fully-stalled phases cost the right
-number of cycles without per-cycle Python overhead.
+Timing model: one issue slot per scheduler per cycle.  Two engines
+implement it:
+
+* the **event engine** (default) keeps a wake-up heap keyed by absolute
+  cycle (:class:`repro.arch.events.EventQueue`).  Latency-producing
+  components -- the memory hierarchy, the MRF's bulk prefetch port, the
+  per-warp scoreboard, the WCB write-back drain -- return completion
+  times, and the SM registers each as a typed event.  When no warp can
+  issue, the clock jumps directly to the earliest pending event, so a
+  fully-stalled phase (every warp parked on a 400-cycle memory
+  response) costs a handful of heap operations instead of per-cycle
+  Python work;
+* the **dense engine** is the retained reference implementation: it
+  walks the active pool every cycle, re-deriving readiness by polling
+  every warp.  It is observationally identical to the event engine
+  (pinned by ``tests/arch/test_engine_equivalence.py``) and exists as
+  the oracle for that equivalence, not for speed.
+
+Select with ``StreamingMultiprocessor(..., engine="dense")`` or the
+``LTRF_SIM_ENGINE`` environment variable.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from heapq import heappop, heappush
+from typing import Dict, List, Optional
 
 from repro.arch.config import GPUConfig
+from repro.arch.events import EventKind, EventQueue
 from repro.arch.main_register_file import MainRegisterFile
 from repro.arch.memory import MemoryHierarchy
 from repro.arch.rf_cache import RegisterFileCache
@@ -37,10 +58,29 @@ from repro.ir.kernel import Kernel
 #: Safety valve: simulations beyond this many cycles indicate livelock.
 MAX_CYCLES = 50_000_000
 
+#: Engine registry; ``LTRF_SIM_ENGINE`` may name either at runtime.
+ENGINES = ("event", "dense")
+
+
+def default_engine() -> str:
+    """Engine used when the constructor receives none (env overridable)."""
+    engine = os.environ.get("LTRF_SIM_ENGINE", "event")
+    if engine not in ENGINES:
+        raise ValueError(
+            f"LTRF_SIM_ENGINE must be one of {ENGINES}, got {engine!r}"
+        )
+    return engine
+
 
 @dataclass
 class SimulationResult:
-    """Aggregate outcome of simulating one kernel on one SM."""
+    """Aggregate outcome of simulating one kernel on one SM.
+
+    Fields marked ``compare=False`` are host-side telemetry: they
+    describe how the simulation *ran* (which engine, how fast, how many
+    wake-up events) rather than what it *computed*, so two runs of
+    different engines compare equal when architecturally identical.
+    """
 
     kernel: str
     policy: str
@@ -61,6 +101,14 @@ class SimulationResult:
     rfc_writebacks: int
     l1_hit_rate: float
     extra: dict = field(default_factory=dict)
+    #: Engine that produced this result ("event" or "dense").
+    engine: str = field(default="event", compare=False)
+    #: Wake-up events registered, by :class:`EventKind` (telemetry).
+    event_counts: Dict[str, int] = field(default_factory=dict, compare=False)
+    #: Idle cycles the event engine jumped over instead of ticking.
+    cycles_skipped: int = field(default=0, compare=False)
+    #: Host wall-clock seconds spent inside the scheduling core.
+    host_seconds: float = field(default=0.0, compare=False)
 
     @property
     def ipc(self) -> float:
@@ -79,11 +127,19 @@ class SimulationResult:
     def rfc_accesses(self) -> int:
         return self.rfc_reads + self.rfc_writes
 
+    @property
+    def simulated_cycles_per_host_second(self) -> float:
+        """Simulated-vs-host-time throughput (0 when unmeasured)."""
+        if self.host_seconds <= 0.0:
+            return 0.0
+        return self.cycles / self.host_seconds
+
 
 class StreamingMultiprocessor:
     """Drives warps through a kernel under a register policy."""
 
-    def __init__(self, config: GPUConfig, policy_factory) -> None:
+    def __init__(self, config: GPUConfig, policy_factory,
+                 engine: Optional[str] = None) -> None:
         """``policy_factory(config, mrf, rfc)`` builds the register policy."""
         self.config = config
         mrf_config = config
@@ -100,6 +156,15 @@ class StreamingMultiprocessor:
         self.policy = policy_factory(config, self.mrf, self.rfc)
         self.activations = 0
         self.deactivations = 0
+        if engine is None:
+            engine = default_engine()
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected {ENGINES}")
+        self.engine = engine
+        #: Wake-up heap; recreated per run (see :meth:`_simulate`).
+        self.events = EventQueue()
+        self.cycles_skipped = 0
+        self._operand_depth = config.operand_pipeline_depth
 
     # -- top level ----------------------------------------------------------
 
@@ -122,7 +187,9 @@ class StreamingMultiprocessor:
             Warp(w, executable.trace_list(warp_id=w, seed=seed))
             for w in range(resident_warps)
         ]
+        started = time.perf_counter()
         cycles = self._simulate(warps)
+        host_seconds = time.perf_counter() - started
         instructions = sum(w.instructions_issued for w in warps)
         prefetches = sum(w.prefetches_issued for w in warps)
         return SimulationResult(
@@ -145,11 +212,241 @@ class StreamingMultiprocessor:
             rfc_writebacks=self.rfc.stats.writebacks,
             l1_hit_rate=self.memory.stats.l1_hit_rate,
             extra=self.policy.extra_stats(),
+            engine=self.engine,
+            event_counts=dict(self.events.counts),
+            cycles_skipped=self.cycles_skipped,
+            host_seconds=host_seconds,
         )
 
-    # -- scheduling core -------------------------------------------------------
+    # -- scheduling core ----------------------------------------------------
 
     def _simulate(self, warps: List[Warp]) -> int:
+        """Run ``warps`` to completion under the selected engine."""
+        self.events = EventQueue()
+        self.cycles_skipped = 0
+        if self.engine == "event":
+            return self._simulate_event(warps)
+        return self._simulate_dense(warps)
+
+    # -- event engine -------------------------------------------------------
+
+    def _simulate_event(self, warps: List[Warp]) -> int:
+        """Event-driven scheduling: wake-up heap plus cycle skipping.
+
+        Invariant: every unfinished warp is in exactly one place --
+        the issue pool (ready now), the wake-up heap (a future typed
+        completion will ready it), or the resumable heap (woken by its
+        memory response, waiting for a free active slot).  Warp
+        readiness only changes when the warp itself issues, activates,
+        or deactivates, so each transition re-registers the warp in the
+        right place and nothing is ever polled.
+        """
+        queue = self.events
+        heap = queue._heap
+        policy = self.policy
+        active_slots = self.config.active_warps
+        issue_width = self.config.issue_width
+        operand_depth = self._operand_depth
+
+        # The issue path below is the manually inlined equivalent of
+        # :meth:`_issue` (which the dense reference engine still calls):
+        # at a few million issues per simulation, the method dispatch
+        # and repeated ``self`` lookups are measurable.  The engine
+        # equivalence suite pins the two code paths to each other.
+        memory_response = EventKind.MEMORY_RESPONSE
+        prefetch_arrival = EventKind.PREFETCH_ARRIVAL
+        scoreboard_release = EventKind.SCOREBOARD_RELEASE
+        wcb_drain = EventKind.WCB_DRAIN
+        state_inactive = WarpState.INACTIVE
+        state_finished = WarpState.FINISHED
+        opcode_prefetch = Opcode.PREFETCH
+        events_push = queue.push
+        policy_activate = policy.activate
+        policy_prefetch = policy.prefetch
+        policy_operand = policy.operand_read_latency
+        policy_result = policy.result_write
+        policy_deactivate = policy.deactivate
+        policy_finish = policy.finish
+        memory_access = self.memory.access
+
+        active_count = 0
+        #: warp_id -> warp, for warps issuable at the current cycle.
+        pool: Dict[int, Warp] = {}
+        #: (resume_at, warp_id, warp): woken, awaiting an active slot.
+        resumable = [(0, warp.warp_id, warp) for warp in warps]
+        remaining = len(warps)
+        requeue: List[Warp] = []
+        cycle = 0
+        rr_next = 0
+        skipped = 0
+
+        while True:
+            # 1. Drain due completions from the wake-up heap.
+            while heap and heap[0][0] <= cycle:
+                _, _, kind, payload = heappop(heap)
+                if payload is None:
+                    continue             # instrumentation-only (WCB drain)
+                if kind == memory_response:
+                    heappush(
+                        resumable,
+                        (payload.resume_at, payload.warp_id, payload),
+                    )
+                else:
+                    pool[payload.warp_id] = payload
+
+            # 2. Fill free active slots, earliest-resolved warp first.
+            while resumable and active_count < active_slots:
+                _, _, warp = heappop(resumable)
+                latency = policy_activate(warp, cycle)
+                warp.state = WarpState.ACTIVE
+                next_ready = warp.next_ready = cycle + latency
+                active_count += 1
+                self.activations += 1
+                deps = warp.dependencies_ready_at()
+                if next_ready >= deps:
+                    if next_ready <= cycle:
+                        pool[warp.warp_id] = warp
+                    else:
+                        events_push(next_ready, prefetch_arrival, warp)
+                elif deps <= cycle:
+                    pool[warp.warp_id] = warp
+                else:
+                    events_push(deps, scoreboard_release, warp)
+
+            if pool:
+                # 3a. Up to issue_width schedulers each issue from a
+                # distinct warp this cycle, round-robin for fairness.
+                for _ in range(min(issue_width, len(pool))):
+                    if not pool:
+                        break
+                    warp = self._round_robin_pool(pool, rr_next)
+                    warp_id = warp.warp_id
+                    rr_next = warp_id + 1
+                    del pool[warp_id]
+
+                    entry = warp.trace[warp.position]
+                    instruction = entry.instruction
+
+                    if instruction.opcode is opcode_prefetch:
+                        warp.next_ready = policy_prefetch(
+                            warp, instruction, cycle
+                        )
+                        warp.prefetches_issued += 1
+                        warp.position += 1
+                        if warp.position >= warp.trace_len:
+                            drain = policy_finish(warp, cycle)
+                            if drain is not None:
+                                events_push(drain, wcb_drain)
+                            warp.state = state_finished
+                            active_count -= 1
+                            remaining -= 1
+                        else:
+                            requeue.append(warp)
+                        continue
+
+                    operand_latency = policy_operand(warp, instruction, cycle)
+                    # Fixed operand-collection stages absorb the
+                    # baseline read latency; only the excess extends
+                    # the dependency chain.
+                    excess = operand_latency - operand_depth
+                    start = cycle + excess if excess > 0 else cycle
+                    deactivate = False
+
+                    if instruction.is_long_latency:
+                        access = memory_access(entry.address, start)
+                        complete = access.ready_cycle
+                        # Loads that miss the L1 deactivate the warp
+                        # (two-level scheduler); stores are
+                        # fire-and-forget.
+                        if instruction.dsts and access.level != "l1":
+                            deactivate = True
+                    else:
+                        # Fixed-latency ops, incl. shared-memory LD/ST
+                        # (scratchpad: outside the L1/LLC hierarchy,
+                        # never deactivates -- see _issue).
+                        complete = start + instruction.execution_latency
+                    scoreboard = warp.scoreboard
+                    for dst in instruction.dsts:
+                        scoreboard[dst] = complete
+                    policy_result(warp, instruction, complete,
+                                  to_mrf=deactivate)
+                    warp.instructions_issued += 1
+                    warp.position += 1
+
+                    if warp.position >= warp.trace_len:
+                        drain = policy_finish(warp, cycle)
+                        if drain is not None:
+                            events_push(drain, wcb_drain)
+                        warp.state = state_finished
+                        active_count -= 1
+                        remaining -= 1
+                    elif deactivate:
+                        drain = policy_deactivate(warp, cycle)
+                        if drain is not None:
+                            events_push(drain, wcb_drain)
+                        warp.state = state_inactive
+                        warp.resume_at = complete
+                        active_count -= 1
+                        self.deactivations += 1
+                        events_push(complete, memory_response, warp)
+                    else:
+                        warp.next_ready = cycle + 1
+                        requeue.append(warp)
+                cycle += 1
+                if requeue:
+                    for warp in requeue:
+                        deps = warp.dependencies_ready_at()
+                        next_ready = warp.next_ready
+                        if next_ready >= deps:
+                            if next_ready <= cycle:
+                                pool[warp.warp_id] = warp
+                            else:
+                                events_push(next_ready, prefetch_arrival, warp)
+                        elif deps <= cycle:
+                            pool[warp.warp_id] = warp
+                        else:
+                            events_push(deps, scoreboard_release, warp)
+                    requeue.clear()
+            else:
+                # 3b. Nothing issuable: jump to the next pending event.
+                if remaining == 0:
+                    break
+                if not heap:
+                    raise RuntimeError(
+                        "event engine stalled: unfinished warps but no "
+                        "pending events"
+                    )
+                next_cycle = heap[0][0]
+                if next_cycle <= cycle:
+                    next_cycle = cycle + 1
+                skipped += next_cycle - cycle - 1
+                cycle = next_cycle
+            if cycle > MAX_CYCLES:
+                raise RuntimeError("simulation exceeded MAX_CYCLES")
+        self.cycles_skipped = skipped
+        return cycle
+
+    @staticmethod
+    def _round_robin_pool(pool: Dict[int, Warp], rr_next: int) -> Warp:
+        """Round-robin over the issue pool, keyed by warp id."""
+        best = None
+        wrap = None
+        for warp_id in pool:
+            if warp_id >= rr_next:
+                if best is None or warp_id < best:
+                    best = warp_id
+            elif wrap is None or warp_id < wrap:
+                wrap = warp_id
+        return pool[best if best is not None else wrap]
+
+    # -- dense reference engine ---------------------------------------------
+
+    def _simulate_dense(self, warps: List[Warp]) -> int:
+        """Reference implementation: poll every warp, every cycle.
+
+        Retained verbatim as the oracle the event engine is tested
+        against; prefer the event engine everywhere else.
+        """
         active: List[Warp] = []
         inactive: List[Warp] = list(warps)
         cycle = 0
@@ -215,11 +512,11 @@ class StreamingMultiprocessor:
             return None
         return max(cycle + 1, min(events))
 
-    # -- instruction issue --------------------------------------------------------
+    # -- instruction issue --------------------------------------------------
 
     def _issue(self, warp: Warp, cycle: int,
                active: List[Warp], inactive: List[Warp]) -> None:
-        entry = warp.current
+        entry = warp.trace[warp.position]
         instruction = entry.instruction
 
         if instruction.opcode is Opcode.PREFETCH:
@@ -235,9 +532,8 @@ class StreamingMultiprocessor:
         )
         # Fixed operand-collection stages absorb the baseline read
         # latency; only the excess extends the dependency chain.
-        start = cycle + max(
-            0, operand_latency - self.config.operand_pipeline_depth
-        )
+        excess = operand_latency - self._operand_depth
+        start = cycle + excess if excess > 0 else cycle
         deactivate = False
 
         if instruction.is_long_latency:
@@ -254,9 +550,9 @@ class StreamingMultiprocessor:
             # ``self.memory`` nor count toward ``l1_hit_rate``, and they
             # never deactivate a warp (tests/arch/test_sm.py pins this).
             complete = start + instruction.execution_latency
-
+        scoreboard = warp.scoreboard
         for dst in instruction.dsts:
-            warp.note_write(dst, complete)
+            scoreboard[dst] = complete
         self.policy.result_write(
             warp, instruction, complete, to_mrf=deactivate
         )
@@ -266,7 +562,9 @@ class StreamingMultiprocessor:
         if self._retire_if_done(warp, cycle, active):
             return
         if deactivate:
-            self.policy.deactivate(warp, cycle)
+            drain = self.policy.deactivate(warp, cycle)
+            if drain is not None:
+                self.events.push(drain, EventKind.WCB_DRAIN)
             warp.state = WarpState.INACTIVE
             warp.resume_at = complete
             active.remove(warp)
@@ -277,9 +575,11 @@ class StreamingMultiprocessor:
 
     def _retire_if_done(self, warp: Warp, cycle: int,
                         active: List[Warp]) -> bool:
-        if not warp.done:
+        if warp.position < warp.trace_len:
             return False
-        self.policy.finish(warp, cycle)
+        drain = self.policy.finish(warp, cycle)
+        if drain is not None:
+            self.events.push(drain, EventKind.WCB_DRAIN)
         warp.state = WarpState.FINISHED
         if warp in active:
             active.remove(warp)

@@ -31,9 +31,16 @@ class WarpState(enum.Enum):
 class Warp:
     """One warp's dynamic execution state."""
 
+    __slots__ = (
+        "warp_id", "trace", "trace_len", "position", "state", "next_ready",
+        "resume_at", "wcb", "scoreboard", "instructions_issued",
+        "prefetches_issued",
+    )
+
     def __init__(self, warp_id: int, trace: List[TraceEntry]) -> None:
         self.warp_id = warp_id
         self.trace = trace
+        self.trace_len = len(trace)
         self.position = 0
         self.state = WarpState.INACTIVE
         #: Earliest cycle this warp may issue its next instruction.
@@ -49,13 +56,13 @@ class Warp:
 
     @property
     def current(self) -> Optional[TraceEntry]:
-        if self.position < len(self.trace):
+        if self.position < self.trace_len:
             return self.trace[self.position]
         return None
 
     @property
     def done(self) -> bool:
-        return self.position >= len(self.trace)
+        return self.position >= self.trace_len
 
     def advance(self) -> None:
         self.position += 1
@@ -68,20 +75,32 @@ class Warp:
         Reads wait for pending writers (RAW); writes wait for pending
         writers of the same register (WAW) -- sufficient for an in-order
         pipeline with out-of-order completion.
+
+        This is the warp's *scoreboard-release* time: between a warp's
+        own issues it is constant, which is what lets the event engine
+        register it once as a wake-up event instead of polling it.
         """
-        entry = self.current
-        if entry is None:
+        if self.position >= self.trace_len:
             return self.next_ready
-        ready = 0
         scoreboard = self.scoreboard
-        for reg in entry.instruction.srcs:
-            ready = max(ready, scoreboard.get(reg, 0))
-        for reg in entry.instruction.dsts:
-            ready = max(ready, scoreboard.get(reg, 0))
+        ready = 0
+        if scoreboard:
+            instruction = self.trace[self.position].instruction
+            get = scoreboard.get
+            for reg in instruction.srcs:
+                pending = get(reg, 0)
+                if pending > ready:
+                    ready = pending
+            for reg in instruction.dsts:
+                pending = get(reg, 0)
+                if pending > ready:
+                    ready = pending
         return ready
 
     def earliest_issue(self) -> int:
-        return max(self.next_ready, self.dependencies_ready_at())
+        next_ready = self.next_ready
+        deps = self.dependencies_ready_at()
+        return next_ready if next_ready >= deps else deps
 
     def note_write(self, register: int, ready_cycle: int) -> None:
         self.scoreboard[register] = ready_cycle

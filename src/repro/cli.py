@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import List
 
+from repro.arch import GPU
 from repro.compiler import compile_kernel
 from repro.experiments import (
     Runner,
@@ -68,6 +69,8 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="Table 2 design point (1-7)")
     simulate.add_argument("--latency", type=float, default=None,
                           help="override the MRF latency multiple")
+    simulate.add_argument("--sms", type=int, default=1,
+                          help="also report chip-level IPC over N SMs")
 
     compile_cmd = sub.add_parser("compile", help="show prefetch regions")
     compile_cmd.add_argument("workload", choices=sorted(SUITE))
@@ -99,7 +102,8 @@ def _cmd_simulate(args) -> None:
               else baseline_config())
     if args.latency is not None:
         config = config.with_latency_multiple(args.latency)
-    result = Runner().simulate(args.workload, args.policy, config)
+    runner = Runner()
+    result = runner.simulate(args.workload, args.policy, config)
     print(f"workload           {args.workload}")
     print(f"policy             {args.policy}")
     print(f"config             #{args.config} "
@@ -112,6 +116,13 @@ def _cmd_simulate(args) -> None:
     print(f"RFC hit rate       {result.rfc_hit_rate:.2f}")
     print(f"L1 hit rate        {result.l1_hit_rate:.2f}")
     print(f"(de)activations    {result.activations}/{result.deactivations}")
+    print(f"engine             {runner.render_telemetry()}")
+    if args.sms > 1:
+        gpu = GPU(config, POLICIES[args.policy], num_sms=args.sms)
+        chip = gpu.run(get_kernel(args.workload))
+        print(f"chip ({args.sms} SMs)      "
+              f"ipc={chip.ipc:.3f} (slowest-SM denominator), "
+              f"per-SM-normalised ipc={chip.sm_normalized_ipc:.3f}")
 
 
 def _cmd_compile(args) -> None:
@@ -139,6 +150,7 @@ def _cmd_experiment(names: List[str], jobs: int) -> None:
         result = EXPERIMENTS[name](runner, jobs)
         print(result.render())
         print()
+    print(f"[engine] {runner.render_telemetry()}")
 
 
 def _cmd_sweep(args) -> None:

@@ -15,7 +15,7 @@ and as a cross-check oracle in tests.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Tuple  # noqa: F401 (Tuple used in annotations)
+from typing import Dict, FrozenSet, List, Tuple  # noqa: F401 (annotations)
 
 from repro.ir.cfg import CFG
 from repro.compiler.regions import Region, RegionPartition

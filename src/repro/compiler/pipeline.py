@@ -9,7 +9,6 @@ with the requested former, and inserts PREFETCH operations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.ir.kernel import Kernel
 from repro.ir.liveness import LivenessInfo, annotate_dead_operands

@@ -29,7 +29,7 @@ prefetch subgraph").
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set
+from typing import Dict, List, Set
 
 from repro.ir.cfg import CFG
 from repro.ir.kernel import Kernel

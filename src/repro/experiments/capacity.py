@@ -23,7 +23,7 @@ from repro.experiments.runner import (
     table2_config,
 )
 from repro.power.energy import normalized_power
-from repro.workloads import EVALUATION, EVALUATION_INSENSITIVE, SUITE
+from repro.workloads import EVALUATION, SUITE
 
 
 def _workloads(workloads: Optional[List[str]]) -> List[str]:

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.arch.config import WARP_REGISTER_BYTES
 from repro.arch.wcb import wcb_storage_bits
 from repro.compiler import compile_kernel, region_length_comparison
 from repro.experiments.report import ExperimentResult, mean

@@ -30,7 +30,7 @@ import json
 import os
 import tempfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Iterable, List, Optional
 
 from repro.arch.config import GPUConfig
@@ -104,19 +104,40 @@ class SimRequest:
     seed: int = 0
 
 
-def execute_request(request: SimRequest) -> RunRecord:
+@dataclass(frozen=True)
+class SimTelemetry:
+    """Host-side execution report for one simulation.
+
+    Kept out of :class:`RunRecord` on purpose: records are cached on
+    disk and must stay byte-identical across engines and machines,
+    while telemetry (wall-clock, event counts) is inherently
+    run-specific.  The runner aggregates it so figures can report
+    simulated-vs-host-time statistics alongside their tables.
+    """
+
+    engine: str
+    host_seconds: float
+    cycles: int
+    instructions: int
+    cycles_skipped: int
+    event_counts: Dict[str, int]
+
+
+def execute_request_with_telemetry(request: SimRequest):
     """Run one simulation, bypassing every cache.
 
-    Module-level (rather than a ``Runner`` method) so pool workers can
-    unpickle it; the simulator is deterministic in ``(request,)``, which
-    is what makes parallel and serial execution interchangeable.
+    Returns ``(record, telemetry)``.  Module-level (rather than a
+    ``Runner`` method) so pool workers can unpickle it; the simulator
+    is deterministic in ``(request,)``, which is what makes parallel
+    and serial execution interchangeable (the record, not the
+    telemetry, is the deterministic part).
     """
     kernel = get_kernel(request.workload)
     sm = StreamingMultiprocessor(
         request.config, policy_by_name(request.policy)
     )
     result = sm.run(kernel, seed=request.seed)
-    return RunRecord(
+    record = RunRecord(
         workload=request.workload,
         policy=request.policy,
         ipc=result.ipc,
@@ -136,6 +157,20 @@ def execute_request(request: SimRequest) -> RunRecord:
         rfc_writebacks=result.rfc_writebacks,
         l1_hit_rate=result.l1_hit_rate,
     )
+    telemetry = SimTelemetry(
+        engine=result.engine,
+        host_seconds=result.host_seconds,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        cycles_skipped=result.cycles_skipped,
+        event_counts=result.event_counts,
+    )
+    return record, telemetry
+
+
+def execute_request(request: SimRequest) -> RunRecord:
+    """Run one simulation, bypassing every cache (record only)."""
+    return execute_request_with_telemetry(request)[0]
 
 
 @dataclass
@@ -148,10 +183,31 @@ class RunnerStats:
     batch_requests: int = 0
     batch_deduplicated: int = 0
     batch_dispatched: int = 0
+    # Aggregated simulation telemetry (simulated-vs-host-time stats).
+    host_seconds: float = 0.0
+    simulated_cycles: int = 0
+    simulated_instructions: int = 0
+    cycles_skipped: int = 0
+    event_counts: Dict[str, int] = field(default_factory=dict)
 
     @property
     def hits(self) -> int:
         return self.memory_hits + self.disk_hits
+
+    @property
+    def simulated_cycles_per_host_second(self) -> float:
+        if self.host_seconds <= 0.0:
+            return 0.0
+        return self.simulated_cycles / self.host_seconds
+
+    def note_telemetry(self, telemetry: "SimTelemetry") -> None:
+        """Fold one simulation's execution report into the aggregate."""
+        self.host_seconds += telemetry.host_seconds
+        self.simulated_cycles += telemetry.cycles
+        self.simulated_instructions += telemetry.instructions
+        self.cycles_skipped += telemetry.cycles_skipped
+        for kind, count in telemetry.event_counts.items():
+            self.event_counts[kind] = self.event_counts.get(kind, 0) + count
 
 
 def _config_fingerprint(config: GPUConfig) -> str:
@@ -257,8 +313,9 @@ class Runner:
         cached = self._load(key)
         if cached is not None:
             return cached
-        record = execute_request(request)
+        record, telemetry = execute_request_with_telemetry(request)
         self.stats.simulated += 1
+        self.stats.note_telemetry(telemetry)
         self._store(key, record)
         return record
 
@@ -295,22 +352,63 @@ class Runner:
                 workers = min(jobs, len(items))
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {
-                        pool.submit(execute_request, request): key
+                        pool.submit(
+                            execute_request_with_telemetry, request
+                        ): key
                         for key, request in items
                     }
                     for future in as_completed(futures):
                         key = futures[future]
-                        record = future.result()
+                        record, telemetry = future.result()
                         self.stats.simulated += 1
+                        self.stats.note_telemetry(telemetry)
                         self._store(key, record)
                         results[key] = record
             else:
                 for key, request in items:
-                    record = execute_request(request)
+                    record, telemetry = execute_request_with_telemetry(
+                        request
+                    )
                     self.stats.simulated += 1
+                    self.stats.note_telemetry(telemetry)
                     self._store(key, record)
                     results[key] = record
         return [results[key] for key in keys]
+
+    # -- telemetry ----------------------------------------------------------
+
+    def telemetry_summary(self) -> Dict[str, object]:
+        """Simulated-vs-host-time statistics for everything this runner
+        actually simulated (cache hits contribute nothing)."""
+        stats = self.stats
+        return {
+            "simulations": stats.simulated,
+            "cache_hits": stats.hits,
+            "host_seconds": stats.host_seconds,
+            "simulated_cycles": stats.simulated_cycles,
+            "simulated_instructions": stats.simulated_instructions,
+            "cycles_skipped": stats.cycles_skipped,
+            "simulated_cycles_per_host_second":
+                stats.simulated_cycles_per_host_second,
+            "event_counts": dict(stats.event_counts),
+        }
+
+    def render_telemetry(self) -> str:
+        """One-paragraph human-readable version of the summary."""
+        summary = self.telemetry_summary()
+        events = summary["event_counts"]
+        event_text = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(events.items())
+        ) or "none"
+        rate = summary["simulated_cycles_per_host_second"]
+        return (
+            f"simulated {summary['simulations']} run(s) "
+            f"({summary['cache_hits']} cache hit(s)): "
+            f"{summary['simulated_cycles']} cycles "
+            f"({summary['cycles_skipped']} skipped) in "
+            f"{summary['host_seconds']:.2f}s host time "
+            f"= {rate:,.0f} cycles/s; events: {event_text}"
+        )
 
 
 def simulate_vs_baseline(runner: "Runner", workloads: Iterable[str],

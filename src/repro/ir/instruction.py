@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Optional, Tuple
 
 from repro.ir.registers import check_register, decode_bitvector, popcount
@@ -157,27 +158,33 @@ class Instruction:
             raise ValueError("only PREFETCH carries a prefetch_vector")
 
     # -- classification ------------------------------------------------
+    #
+    # cached_property (not property): static instructions are shared by
+    # every dynamic trace entry that executes them, and the issue loop
+    # classifies each entry, so these resolve to plain __dict__ lookups
+    # after the first access.  (frozen=True blocks __setattr__, but
+    # cached_property writes the instance __dict__ directly.)
 
-    @property
+    @cached_property
     def is_branch(self) -> bool:
         return self.opcode is Opcode.BRA
 
-    @property
+    @cached_property
     def is_conditional(self) -> bool:
         """True for branches whose outcome varies at run time."""
         return self.is_branch and (
             self.trip_count is not None or self.taken_probability is not None
         )
 
-    @property
+    @cached_property
     def is_memory(self) -> bool:
         return self.opcode in MEMORY_OPCODES
 
-    @property
+    @cached_property
     def is_long_latency(self) -> bool:
         return self.opcode in LONG_LATENCY_OPCODES
 
-    @property
+    @cached_property
     def execution_latency(self) -> int:
         return EXECUTION_LATENCY[self.opcode]
 
@@ -187,11 +194,19 @@ class Instruction:
         """All architectural registers this instruction touches."""
         return frozenset(self.dsts) | frozenset(self.srcs)
 
+    @cached_property
+    def _decoded_prefetch_registers(self) -> Tuple[int, ...]:
+        return tuple(decode_bitvector(self.prefetch_vector))
+
     def prefetch_registers(self) -> Tuple[int, ...]:
-        """Registers named by this PREFETCH's bit-vector."""
+        """Registers named by this PREFETCH's bit-vector.
+
+        Cached: a loop header's PREFETCH re-executes every iteration in
+        every warp, but the static bit-vector never changes.
+        """
         if self.opcode is not Opcode.PREFETCH:
             raise ValueError("not a PREFETCH instruction")
-        return tuple(decode_bitvector(self.prefetch_vector))
+        return self._decoded_prefetch_registers
 
     def prefetch_count(self) -> int:
         """Number of registers a PREFETCH names."""

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import copy
 import random
-from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.ir.cfg import CFG
@@ -28,7 +27,6 @@ DEFAULT_MAX_TRACE = 200_000
 _STREAM_SPACING = 1 << 26
 
 
-@dataclass(frozen=True)
 class TraceEntry:
     """One dynamic instruction: where it came from and what it does.
 
@@ -36,13 +34,29 @@ class TraceEntry:
     (``None`` otherwise).  ``taken`` records the resolved direction for
     conditional branches so downstream consumers (e.g. the optimal
     interval-length analysis for Table 4) can replay control flow.
+
+    A ``__slots__`` value object rather than a dataclass: simulations
+    materialise one entry per dynamic instruction per warp, so
+    construction weight shows up directly in end-to-end wall-clock.
     """
 
-    block: str
-    index: int
-    instruction: Instruction
-    address: Optional[int] = None
-    taken: Optional[bool] = None
+    __slots__ = ("block", "index", "instruction", "address", "taken")
+
+    def __init__(self, block: str, index: int, instruction: Instruction,
+                 address: Optional[int] = None,
+                 taken: Optional[bool] = None) -> None:
+        self.block = block
+        self.index = index
+        self.instruction = instruction
+        self.address = address
+        self.taken = taken
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceEntry(block={self.block!r}, index={self.index}, "
+            f"instruction={self.instruction!s}, address={self.address}, "
+            f"taken={self.taken})"
+        )
 
 
 class Kernel:

@@ -14,6 +14,13 @@ what every access costs.  The SM calls these hooks:
 * ``deactivate`` / ``activate`` -- two-level scheduler transitions;
 * ``finish`` -- warp retired; release resources.
 
+Hooks that produce latency report it as *completion times*, never by
+being polled: ``prefetch`` and ``activate`` return when their bulk
+transfer lands, and ``deactivate``/``finish`` return when their WCB
+write-back drain settles in the MRF (or ``None`` when nothing drains).
+The SM registers each returned completion as a wake-up event
+(:mod:`repro.arch.events`).
+
 Policies are constructed by the SM via ``PolicyClass(config, mrf, rfc)``
 so they share the SM's timing-and-counting components.
 """
@@ -21,6 +28,7 @@ so they share the SM's timing-and-counting components.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Optional
 
 from repro.arch.config import GPUConfig
 from repro.arch.main_register_file import MainRegisterFile
@@ -89,11 +97,21 @@ class RegisterPolicy(ABC):
         """Warp joins the active pool; return extra readiness latency."""
         return 0
 
-    def deactivate(self, warp: Warp, cycle: int) -> None:
-        """Warp leaves the active pool (long-latency stall)."""
+    def deactivate(self, warp: Warp, cycle: int) -> Optional[int]:
+        """Warp leaves the active pool (long-latency stall).
 
-    def finish(self, warp: Warp, cycle: int) -> None:
-        """Warp retired; release any held resources."""
+        Returns the cycle the warp's write-back drain completes in the
+        MRF, or ``None`` when nothing needed draining.
+        """
+        return None
+
+    def finish(self, warp: Warp, cycle: int) -> Optional[int]:
+        """Warp retired; release any held resources.
+
+        Returns the retirement drain's completion cycle (``None`` when
+        nothing needed draining).
+        """
+        return None
 
     # -- reporting -------------------------------------------------------------
 
@@ -105,10 +123,7 @@ class RegisterPolicy(ABC):
 
     def _collect_from_mrf(self, warp: Warp, srcs, cycle: int) -> int:
         """Read sources from the MRF in parallel; return max latency."""
-        ready = cycle
-        for src in srcs:
-            ready = max(ready, self.mrf.read(warp.warp_id, src, cycle))
-        return ready - cycle
+        return self.mrf.read_group(warp.warp_id, srcs, cycle) - cycle
 
     def _operand_port_penalty(self, instruction: Instruction) -> int:
         """WCB address-table port limit: >2 sources cost an extra cycle."""

@@ -30,7 +30,7 @@ intervals.
 
 from __future__ import annotations
 
-from typing import Iterable, Set
+from typing import Iterable, Optional, Set
 
 from repro.arch.warp import Warp
 from repro.compiler.pipeline import compile_kernel
@@ -52,6 +52,9 @@ class LTRFPolicy(RegisterPolicy):
         super().__init__(config, mrf, rfc)
         self._prefetch_registers_moved = 0
         self._prefetch_operations = 0
+        # Hot-path constants (config is frozen).
+        self._rfc_latency = config.rfc_latency
+        self._port_penalty = config.wcb_extra_operand_penalty
 
     # -- kernel preparation -----------------------------------------------------
 
@@ -118,20 +121,29 @@ class LTRFPolicy(RegisterPolicy):
 
     def operand_read_latency(self, warp: Warp, instruction: Instruction,
                              cycle: int) -> int:
+        # Flattened equivalent of one rfc.read() per source: every read
+        # hits by construction and costs the same one-cycle RFC access,
+        # so only the counts and the port penalty remain.
         wcb = warp.wcb
-        ready = cycle
-        for src in instruction.srcs:
-            if not wcb.cached(src):
+        srcs = instruction.srcs
+        valid = wcb.valid
+        for src in srcs:
+            if src not in valid:
                 raise RuntimeError(
                     f"LTRF invariant violated: warp {warp.warp_id} read "
                     f"r{src} outside its prefetched working set"
                 )
-            self.rfc.stats.read_hits += 1
-            ready = max(ready, self.rfc.read(wcb, src, cycle))
-        latency = ready - cycle
-        if instruction.srcs:
-            latency += self._operand_port_penalty(instruction)
-        wcb.note_dead_operands(instruction.dead_srcs)
+        latency = 0
+        if srcs:
+            count = len(srcs)
+            stats = self.rfc.stats
+            stats.read_hits += count
+            stats.reads += count
+            latency = self._rfc_latency
+            if count > 2:
+                latency += self._port_penalty
+        if instruction.dead_srcs:
+            wcb.note_dead_operands(instruction.dead_srcs)
         return latency
 
     def result_write(self, warp: Warp, instruction: Instruction,
@@ -165,18 +177,24 @@ class LTRFPolicy(RegisterPolicy):
         self._prefetch_registers_moved += len(refetch)
         return completion - cycle
 
-    def deactivate(self, warp: Warp, cycle: int) -> None:
+    def deactivate(self, warp: Warp, cycle: int) -> Optional[int]:
         wcb = warp.wcb
         cached = set(wcb.address_table)
         writeback = self._writeback_filter(warp, wcb.dirty & cached)
+        drained_at = None
         if writeback:
-            self.mrf.bulk_write(warp.warp_id, sorted(writeback), cycle)
+            drained_at = self.mrf.bulk_write(
+                warp.warp_id, sorted(writeback), cycle
+            )
             self.rfc.note_writeback(len(writeback))
+            wcb.note_drain(drained_at)
         self.rfc.release_partition(wcb)
+        return drained_at
 
-    def finish(self, warp: Warp, cycle: int) -> None:
+    def finish(self, warp: Warp, cycle: int) -> Optional[int]:
         if warp.wcb.warp_offset is not None:
             self.rfc.release_partition(warp.wcb)
+        return None
 
     # -- reporting ------------------------------------------------------------------
 

@@ -26,7 +26,7 @@ there); its cached entries stay until displaced by its own writes.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.arch.warp import Warp
 from repro.ir.instruction import Instruction
@@ -100,12 +100,19 @@ class RFCPolicy(RegisterPolicy):
 
     # -- scheduler hooks ------------------------------------------------------------
 
-    def finish(self, warp: Warp, cycle: int) -> None:
-        """Drain the retired warp's dirty results to the MRF."""
+    def finish(self, warp: Warp, cycle: int) -> Optional[int]:
+        """Drain the retired warp's dirty results to the MRF.
+
+        Returns the drain's completion cycle (the SM registers it as a
+        WCB-drain event), or ``None`` when nothing was dirty.
+        """
         entries = self._slices.pop(warp.warp_id, None)
         if not entries:
-            return
+            return None
         dirty = [register for register, is_dirty in entries.items() if is_dirty]
-        if dirty:
-            self.mrf.bulk_write(warp.warp_id, dirty, cycle)
-            self.rfc.note_writeback(len(dirty))
+        if not dirty:
+            return None
+        drained_at = self.mrf.bulk_write(warp.warp_id, dirty, cycle)
+        self.rfc.note_writeback(len(dirty))
+        warp.wcb.note_drain(drained_at)
+        return drained_at

@@ -75,10 +75,13 @@ class RegisterFileDesign:
 TABLE2: Dict[int, RegisterFileDesign] = {d.config_id: d for d in [
     RegisterFileDesign(1, "HP SRAM", 1, 1, "Crossbar", 1, 1.0, 1.0, 1.0, 1.0, 1.0),
     RegisterFileDesign(2, "HP SRAM", 1, 8, "Crossbar", 8, 8.0, 8.0, 1.0, 1.0, 1.25),
-    RegisterFileDesign(3, "HP SRAM", 8, 1, "F. Butterfly", 8, 8.0, 8.0, 1.0, 1.0, 1.5),
+    RegisterFileDesign(3, "HP SRAM", 8, 1, "F. Butterfly", 8, 8.0, 8.0, 1.0,
+                       1.0, 1.5),
     RegisterFileDesign(4, "LSTP SRAM", 1, 8, "Crossbar", 8, 8.0, 3.2, 1.0, 2.5, 1.6),
-    RegisterFileDesign(5, "LSTP SRAM", 8, 1, "F. Butterfly", 8, 8.0, 3.2, 1.0, 2.5, 2.8),
-    RegisterFileDesign(6, "TFET SRAM", 8, 1, "F. Butterfly", 8, 8.0, 1.05, 1.0, 7.6, 5.3),
+    RegisterFileDesign(5, "LSTP SRAM", 8, 1, "F. Butterfly", 8, 8.0, 3.2, 1.0,
+                       2.5, 2.8),
+    RegisterFileDesign(6, "TFET SRAM", 8, 1, "F. Butterfly", 8, 8.0, 1.05, 1.0,
+                       7.6, 5.3),
     RegisterFileDesign(7, "DWM", 8, 1, "F. Butterfly", 8, 0.25, 0.65, 32.0, 12.0, 6.3),
 ]}
 

@@ -39,26 +39,40 @@ def _spec(name: str, category: str, registers: int, fermi: int,
 #: form the evaluation subset below.
 SUITE: Dict[str, WorkloadSpec] = {spec.name: spec for spec in [
     # --- Rodinia ---------------------------------------------------------
-    _spec("backprop", SENSITIVE, 96, 34, loop_trips=22, segments=4, cold_fraction=0.45, seed=11),
-    _spec("hotspot", SENSITIVE, 88, 37, loop_trips=26, segments=3, cold_fraction=0.40, diamond=True, seed=12),
-    _spec("srad", SENSITIVE, 120, 42, loop_trips=20, segments=4, cold_fraction=0.50, use_sfu=True, seed=13),
-    _spec("lud", SENSITIVE, 104, 38, loop_trips=24, segments=3, cold_fraction=0.35, inner_trips=4, seed=14),
-    _spec("nw", SENSITIVE, 72, 30, loop_trips=28, segments=3, cold_fraction=0.55, diamond=True, seed=15),
-    _spec("gaussian", SENSITIVE, 64, 27, loop_trips=30, segments=3, cold_fraction=0.50, seed=16),
-    _spec("pathfinder", SENSITIVE, 80, 32, loop_trips=26, segments=3, cold_fraction=0.60, diamond=True, seed=17),
-    _spec("lavamd", SENSITIVE, 160, 43, loop_trips=18, segments=4, cold_fraction=0.40, use_sfu=True,
+    _spec("backprop", SENSITIVE, 96, 34, loop_trips=22, segments=4, cold_fraction=0.45,
+          seed=11),
+    _spec("hotspot", SENSITIVE, 88, 37, loop_trips=26, segments=3, cold_fraction=0.40,
+          diamond=True, seed=12),
+    _spec("srad", SENSITIVE, 120, 42, loop_trips=20, segments=4, cold_fraction=0.50,
+          use_sfu=True, seed=13),
+    _spec("lud", SENSITIVE, 104, 38, loop_trips=24, segments=3, cold_fraction=0.35,
+          inner_trips=4, seed=14),
+    _spec("nw", SENSITIVE, 72, 30, loop_trips=28, segments=3, cold_fraction=0.55,
+          diamond=True, seed=15),
+    _spec("gaussian", SENSITIVE, 64, 27, loop_trips=30, segments=3, cold_fraction=0.50,
+          seed=16),
+    _spec("pathfinder", SENSITIVE, 80, 32, loop_trips=26, segments=3,
+          cold_fraction=0.60, diamond=True, seed=17),
+    _spec("lavamd", SENSITIVE, 160, 43, loop_trips=18, segments=4, cold_fraction=0.40,
+          use_sfu=True,
           inner_trips=3, seed=18),
-    _spec("cfd", SENSITIVE, 136, 40, loop_trips=20, segments=4, cold_fraction=0.55, use_sfu=True, seed=19),
-    _spec("btree", INSENSITIVE, 28, 18, loop_trips=30, segments=2, cold_fraction=0.70, diamond=True, seed=20),
-    _spec("kmeans", INSENSITIVE, 24, 14, loop_trips=32, segments=2, cold_fraction=0.15, inner_trips=5, seed=21),
-    _spec("bfs", INSENSITIVE, 20, 13, loop_trips=30, segments=2, cold_fraction=0.75, diamond=True, seed=22),
-    _spec("streamcluster", INSENSITIVE, 32, 19, loop_trips=28, segments=2, cold_fraction=0.35, seed=23),
+    _spec("cfd", SENSITIVE, 136, 40, loop_trips=20, segments=4, cold_fraction=0.55,
+          use_sfu=True, seed=19),
+    _spec("btree", INSENSITIVE, 28, 18, loop_trips=30, segments=2, cold_fraction=0.70,
+          diamond=True, seed=20),
+    _spec("kmeans", INSENSITIVE, 24, 14, loop_trips=32, segments=2, cold_fraction=0.15,
+          inner_trips=5, seed=21),
+    _spec("bfs", INSENSITIVE, 20, 13, loop_trips=30, segments=2, cold_fraction=0.75,
+          diamond=True, seed=22),
+    _spec("streamcluster", INSENSITIVE, 32, 19, loop_trips=28, segments=2,
+          cold_fraction=0.35, seed=23),
     _spec("heartwall", SENSITIVE, 92, 35, seed=24),
     _spec("myocyte", SENSITIVE, 148, 45, seed=25),
     _spec("particlefilter", SENSITIVE, 76, 29, seed=26),
     _spec("nn", INSENSITIVE, 22, 14, seed=27),
     # --- Parboil -------------------------------------------------------------
-    _spec("histo", INSENSITIVE, 26, 16, loop_trips=30, segments=2, cold_fraction=0.25, use_shared=True, seed=28),
+    _spec("histo", INSENSITIVE, 26, 16, loop_trips=30, segments=2, cold_fraction=0.25,
+          use_shared=True, seed=28),
     _spec("cutcp", SENSITIVE, 84, 32, use_sfu=True, seed=29),
     _spec("lbm", SENSITIVE, 188, 54, seed=30),
     _spec("mri-q", SENSITIVE, 68, 27, use_sfu=True, seed=31),

@@ -1,0 +1,93 @@
+"""Unit tests for the wake-up event heap (repro.arch.events)."""
+
+import pytest
+
+from repro.arch.events import EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_cycle_order(self):
+        queue = EventQueue()
+        queue.push(30, EventKind.MEMORY_RESPONSE, "c")
+        queue.push(10, EventKind.PREFETCH_ARRIVAL, "a")
+        queue.push(20, EventKind.SCOREBOARD_RELEASE, "b")
+        due = queue.pop_due(100)
+        assert [payload for _, _, payload in due] == ["a", "b", "c"]
+        assert [cycle for cycle, _, _ in due] == [10, 20, 30]
+
+    def test_same_cycle_ties_pop_fifo(self):
+        """Same-cycle events drain in push order -- the determinism
+        guarantee the engine's replay identity rests on."""
+        queue = EventQueue()
+        for tag in ("first", "second", "third", "fourth"):
+            queue.push(7, EventKind.SCOREBOARD_RELEASE, tag)
+        due = queue.pop_due(7)
+        assert [payload for _, _, payload in due] == [
+            "first", "second", "third", "fourth"
+        ]
+
+    def test_interleaved_ties_stay_fifo_per_cycle(self):
+        queue = EventQueue()
+        queue.push(5, EventKind.MEMORY_RESPONSE, "a5")
+        queue.push(3, EventKind.MEMORY_RESPONSE, "a3")
+        queue.push(5, EventKind.WCB_DRAIN, "b5")
+        queue.push(3, EventKind.WCB_DRAIN, "b3")
+        due = queue.pop_due(5)
+        assert [payload for _, _, payload in due] == ["a3", "b3", "a5", "b5"]
+
+    def test_deterministic_across_identical_push_sequences(self):
+        def build():
+            queue = EventQueue()
+            for cycle, kind, payload in (
+                (4, EventKind.MEMORY_RESPONSE, 1),
+                (4, EventKind.PREFETCH_ARRIVAL, 2),
+                (2, EventKind.WCB_DRAIN, 3),
+                (4, EventKind.SCOREBOARD_RELEASE, 4),
+            ):
+                queue.push(cycle, kind, payload)
+            return queue.pop_due(10)
+
+        assert build() == build()
+
+
+class TestPopDue:
+    def test_pop_due_is_inclusive(self):
+        queue = EventQueue()
+        queue.push(5, EventKind.MEMORY_RESPONSE, "at")
+        queue.push(6, EventKind.MEMORY_RESPONSE, "after")
+        due = queue.pop_due(5)
+        assert [payload for _, _, payload in due] == ["at"]
+        assert len(queue) == 1
+
+    def test_pop_due_empty_queue(self):
+        assert EventQueue().pop_due(100) == []
+
+    def test_peek_cycle(self):
+        queue = EventQueue()
+        assert queue.peek_cycle() is None
+        queue.push(9, EventKind.WCB_DRAIN)
+        queue.push(4, EventKind.MEMORY_RESPONSE, "w")
+        assert queue.peek_cycle() == 4
+        queue.pop_due(4)
+        assert queue.peek_cycle() == 9
+
+
+class TestCounters:
+    def test_counts_by_kind(self):
+        queue = EventQueue()
+        queue.push(1, EventKind.MEMORY_RESPONSE)
+        queue.push(2, EventKind.MEMORY_RESPONSE)
+        queue.push(3, EventKind.WCB_DRAIN)
+        assert queue.counts[EventKind.MEMORY_RESPONSE] == 2
+        assert queue.counts[EventKind.WCB_DRAIN] == 1
+        assert queue.counts[EventKind.PREFETCH_ARRIVAL] == 0
+        assert queue.counts[EventKind.SCOREBOARD_RELEASE] == 0
+
+    def test_all_kinds_preinitialised(self):
+        queue = EventQueue()
+        assert set(queue.counts) == set(EventKind.ALL)
+
+    def test_unknown_kind_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(KeyError):
+            queue.push(1, "not-a-kind")

@@ -22,6 +22,16 @@ def test_rejects_zero_sms():
         GPU(GPUConfig(), POLICIES["BL"], num_sms=0)
 
 
+def skewed_kernel():
+    return (
+        KernelBuilder("prob")
+        .block("entry").alu(0, 1)
+        .block("loop").alu(1, 1).branch("loop", taken_probability=0.6)
+        .block("end").exit()
+        .build()
+    )
+
+
 def test_aggregates_across_sms():
     config = GPUConfig(max_resident_warps=4, active_warps=4)
     gpu = GPU(config, POLICIES["BL"], num_sms=3)
@@ -29,20 +39,43 @@ def test_aggregates_across_sms():
     assert len(result.per_sm) == 3
     assert result.instructions == sum(r.instructions for r in result.per_sm)
     assert result.cycles == max(r.cycles for r in result.per_sm)
+    # Chip IPC (slowest-SM denominator) vs per-SM-normalised IPC: the
+    # former measures whole-chip rate, so per-SM throughput comparisons
+    # must use sm_normalized_ipc, never ipc.
     assert result.ipc > 0
+    assert result.sm_normalized_ipc > 0
     assert result.mean_sm_ipc > 0
+    total_cycles = sum(r.cycles for r in result.per_sm)
+    assert result.sm_normalized_ipc == result.instructions / total_cycles
+
+
+def test_chip_ipc_discounts_idle_tails_under_skew():
+    """With skewed SM loads the slowest-SM denominator charges every SM
+    for the straggler's tail: chip IPC falls strictly below num_sms x
+    the per-SM-normalised rate (they coincide only for equal loads)."""
+    config = GPUConfig(max_resident_warps=4, active_warps=4)
+    result = GPU(config, POLICIES["BL"], num_sms=4).run(skewed_kernel())
+    cycles = [r.cycles for r in result.per_sm]
+    assert max(cycles) > min(cycles)        # loads actually skewed
+    assert result.ipc < len(cycles) * result.sm_normalized_ipc
+    per_sm = [r.ipc for r in result.per_sm]
+    assert min(per_sm) <= result.sm_normalized_ipc <= max(per_sm)
 
 
 def test_sms_use_distinct_seeds():
     config = GPUConfig(max_resident_warps=4, active_warps=4)
     gpu = GPU(config, POLICIES["BL"], num_sms=2)
-    kernel = (
-        KernelBuilder("prob")
-        .block("entry").alu(0, 1)
-        .block("loop").alu(1, 1).branch("loop", taken_probability=0.6)
-        .block("end").exit()
-        .build()
-    )
-    result = gpu.run(kernel)
+    result = gpu.run(skewed_kernel())
     counts = {r.instructions for r in result.per_sm}
     assert len(counts) > 1
+
+
+def test_gpu_aggregates_telemetry():
+    config = GPUConfig(max_resident_warps=4, active_warps=4)
+    result = GPU(config, POLICIES["BL"], num_sms=2).run(tiny_kernel())
+    assert result.host_seconds >= 0.0
+    expected = {}
+    for sm_result in result.per_sm:
+        for kind, count in sm_result.event_counts.items():
+            expected[kind] = expected.get(kind, 0) + count
+    assert result.event_counts == expected

@@ -4,8 +4,6 @@ import json
 import os
 from dataclasses import asdict
 
-import pytest
-
 from repro.arch import GPUConfig
 from repro.experiments import Runner, SimRequest
 from repro.experiments.runner import default_cache_dir
@@ -119,3 +117,66 @@ class TestDefaultCacheDir:
         monkeypatch.delenv("LTRF_CACHE_DIR", raising=False)
         monkeypatch.chdir(tmp_path)
         assert default_cache_dir() == str(tmp_path / ".ltrf_cache")
+
+
+class TestTelemetry:
+    """Simulated-vs-host-time aggregation (the event-core counters)."""
+
+    def test_simulate_records_telemetry(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        runner.simulate("btree", "BL", SMALL)
+        stats = runner.stats
+        assert stats.simulated == 1
+        assert stats.host_seconds > 0.0
+        assert stats.simulated_cycles > 0
+        assert stats.simulated_instructions > 0
+        assert stats.event_counts.get("memory_response", 0) > 0
+        assert stats.simulated_cycles_per_host_second > 0.0
+
+    def test_cache_hits_add_no_telemetry(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        runner.simulate("btree", "BL", SMALL)
+        snapshot = (
+            runner.stats.host_seconds, runner.stats.simulated_cycles,
+            dict(runner.stats.event_counts),
+        )
+        runner.simulate("btree", "BL", SMALL)     # memory-cache hit
+        assert (
+            runner.stats.host_seconds, runner.stats.simulated_cycles,
+            dict(runner.stats.event_counts),
+        ) == snapshot
+
+    def test_batch_telemetry_covers_all_dispatched(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        runner.simulate_many(small_grid())
+        assert runner.stats.simulated == len(small_grid())
+        assert runner.stats.simulated_cycles > 0
+        summary = runner.telemetry_summary()
+        assert summary["simulations"] == len(small_grid())
+        assert summary["simulated_cycles"] == runner.stats.simulated_cycles
+        assert "memory_response" in summary["event_counts"]
+        assert runner.render_telemetry().startswith("simulated 4 run(s)")
+
+    def test_parallel_workers_report_telemetry(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        runner.simulate_many(small_grid(), jobs=2)
+        assert runner.stats.simulated == len(small_grid())
+        assert runner.stats.host_seconds > 0.0
+        assert runner.stats.event_counts.get("scoreboard_release", 0) > 0
+
+    def test_cache_entry_schema_unchanged_by_telemetry(self, tmp_path):
+        """Telemetry must never leak into the on-disk record: entries
+        stay byte-compatible with the pre-event-engine cache format."""
+        runner = Runner(cache_dir=str(tmp_path))
+        request = SimRequest("btree", "BL", SMALL)
+        runner.simulate("btree", "BL", SMALL)
+        path = runner._cache_path(runner.request_key(request))
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert set(payload) == {
+            "workload", "policy", "ipc", "cycles", "instructions",
+            "prefetch_operations", "resident_warps", "activations",
+            "deactivations", "mrf_reads", "mrf_writes", "rfc_reads",
+            "rfc_writes", "rfc_read_hits", "rfc_read_misses", "rfc_fills",
+            "rfc_writebacks", "l1_hit_rate",
+        }

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.ir import Instruction, KernelBuilder, Opcode
+from repro.ir import KernelBuilder, Opcode
 
 
 def loop_kernel(trip_count=4):

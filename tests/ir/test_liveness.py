@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ir import KernelBuilder, Opcode, analyze, annotate_dead_operands
+from repro.ir import KernelBuilder, analyze, annotate_dead_operands
 
 
 def straightline_kernel():

@@ -9,7 +9,7 @@ from repro.arch import (
     StreamingMultiprocessor,
     Warp,
 )
-from repro.ir import Instruction, KernelBuilder, Opcode, encode_bitvector
+from repro.ir import Instruction, Opcode, encode_bitvector
 from repro.policies import (
     BaselinePolicy,
     IdealPolicy,
