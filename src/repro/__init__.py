@@ -17,7 +17,9 @@ Layers
 ``repro.power``
     Table 2 design points, analytic CACTI-style scaling, energy model.
 ``repro.workloads``
-    Synthetic CUDA-SDK/Rodinia/Parboil stand-ins (35-workload suite).
+    Pluggable workload frontend: registry, synthetic
+    CUDA-SDK/Rodinia/Parboil stand-ins (35-workload suite), parametric
+    scenario families, ``.kernel.json`` files.
 ``repro.experiments``
     One entry point per paper table/figure, with cached simulation.
 
@@ -35,9 +37,15 @@ from repro.arch import (
     GPUConfig, MemoryConfig, SimulationResult, StreamingMultiprocessor,
 )
 from repro.compiler import CompiledKernel, compile_kernel
-from repro.ir import Kernel, KernelBuilder
+from repro.ir import Kernel, KernelBuilder, kernel_fingerprint
 from repro.policies import POLICIES, policy_by_name
-from repro.workloads import WorkloadSpec, build_kernel, get_kernel
+from repro.workloads import (
+    WorkloadRegistry,
+    WorkloadSpec,
+    build_kernel,
+    default_registry,
+    get_kernel,
+)
 
 __version__ = "1.0.0"
 
@@ -50,10 +58,13 @@ __all__ = [
     "POLICIES",
     "SimulationResult",
     "StreamingMultiprocessor",
+    "WorkloadRegistry",
     "WorkloadSpec",
     "build_kernel",
     "compile_kernel",
+    "default_registry",
     "get_kernel",
+    "kernel_fingerprint",
     "policy_by_name",
     "__version__",
 ]

@@ -2,13 +2,19 @@
 
 Usage (after ``pip install -e .``):
 
-    python -m repro.cli list-workloads
+    python -m repro.cli list-workloads [--family regpressure]
     python -m repro.cli simulate backprop --policy LTRF --config 6
+    python -m repro.cli simulate regpressure-128 --policy LTRF
+    python -m repro.cli simulate --kernel-file bp.kernel.json --policy LTRF
     python -m repro.cli compile backprop --regions strand
+    python -m repro.cli export-kernel backprop -o bp.kernel.json
     python -m repro.cli experiment fig9a fig10 table4 --jobs 4
     python -m repro.cli sweep backprop --policies BL,LTRF,LTRF+ --jobs 4
 
-Every subcommand prints plain text; experiment names mirror the paper's
+Workload arguments resolve through the registry
+(:mod:`repro.workloads.registry`): any suite name, any scenario-family
+instance (``<family>-<parameter>``), or a ``.kernel.json`` path.  Every
+subcommand prints plain text; experiment names mirror the paper's
 tables and figures (see DESIGN.md's experiment index).
 """
 
@@ -16,7 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List
+from typing import List, Optional
 
 from repro.arch import GPU
 from repro.compiler import compile_kernel
@@ -27,8 +33,14 @@ from repro.experiments import (
     max_tolerable_latency, normalized_sweep, overheads, sweep_requests,
     table1, table2, table2_config, table4,
 )
+from repro.ir import kernel_fingerprint, save_kernel
 from repro.policies import POLICIES
-from repro.workloads import SUITE, get_kernel, workload_names
+from repro.workloads import (
+    UnknownWorkloadError,
+    default_registry,
+    get_kernel,
+)
+from repro.workloads.registry import KERNEL_FILE_SUFFIX, is_kernel_file_name
 
 #: Experiment registry: name -> callable(runner, jobs) -> ExperimentResult.
 EXPERIMENTS = {
@@ -49,20 +61,47 @@ EXPERIMENTS = {
 }
 
 
+def _add_workload_argument(command) -> None:
+    """Workload selection shared by simulate/sweep: name or kernel file.
+
+    The workload is deliberately *not* an argparse ``choices`` list:
+    the registry resolves scenario-family instances and kernel files
+    that no static list can enumerate, and unknown names get
+    nearest-match suggestions instead of a raw choices dump.
+    """
+    command.add_argument(
+        "workload", nargs="?", default=None,
+        help="registered workload, scenario instance (e.g. "
+             "regpressure-128), or .kernel.json path",
+    )
+    command.add_argument(
+        "--kernel-file", default=None, metavar="PATH",
+        help="simulate a serialized kernel file (alternative to a "
+             "workload name)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LTRF (ASPLOS 2018) reproduction CLI"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list-workloads", help="list the 35-workload suite")
+    list_workloads = sub.add_parser(
+        "list-workloads",
+        help="list the 35-workload suite and scenario families",
+    )
+    list_workloads.add_argument(
+        "--family", default=None, metavar="FAMILY",
+        help="describe one scenario family (e.g. regpressure)",
+    )
     sub.add_parser("list-policies", help="list register-file policies")
     sub.add_parser(
         "list-experiments", help="list reproducible tables/figures"
     )
 
     simulate = sub.add_parser("simulate", help="run one simulation")
-    simulate.add_argument("workload", choices=sorted(SUITE))
+    _add_workload_argument(simulate)
     simulate.add_argument("--policy", default="LTRF",
                           choices=sorted(POLICIES))
     simulate.add_argument("--config", type=int, default=1,
@@ -73,10 +112,24 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="also report chip-level IPC over N SMs")
 
     compile_cmd = sub.add_parser("compile", help="show prefetch regions")
-    compile_cmd.add_argument("workload", choices=sorted(SUITE))
+    compile_cmd.add_argument(
+        "workload",
+        help="registered workload, scenario instance, or .kernel.json path",
+    )
     compile_cmd.add_argument("--regions", default="register-interval",
                              choices=("register-interval", "strand"))
     compile_cmd.add_argument("--max-registers", type=int, default=16)
+
+    export = sub.add_parser(
+        "export-kernel",
+        help="serialize a workload's kernel to a .kernel.json file",
+    )
+    export.add_argument(
+        "workload",
+        help="registered workload or scenario instance to export",
+    )
+    export.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="output path (default <workload>.kernel.json)")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate paper tables/figures")
@@ -86,7 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="worker processes for simulation grids")
 
     sweep = sub.add_parser("sweep", help="latency-tolerance sweep")
-    sweep.add_argument("workload", choices=sorted(SUITE))
+    _add_workload_argument(sweep)
     sweep.add_argument("--policies", default="BL,RFC,LTRF,LTRF+",
                        help="comma-separated policy names")
     sweep.add_argument("--jobs", type=int, default=1,
@@ -94,7 +147,60 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+class _WorkloadResolutionError(SystemExit):
+    """Unresolvable workload: carries the printed exit code (2)."""
+
+
+def _require_json_suffix(path: str) -> None:
+    """Enforce the file-routing rule on both the load and export sides.
+
+    A name routes to the kernel-file loader iff it ends in .json --
+    everywhere, including batch-engine worker processes, which only
+    ever see the name string -- so exporting to any other suffix would
+    produce a file this same tool refuses to consume.
+    """
+    if not is_kernel_file_name(path):
+        print(f"error: kernel files must end in .json (got {path!r}); "
+              f"e.g. {path}{KERNEL_FILE_SUFFIX}", file=sys.stderr)
+        raise _WorkloadResolutionError(2)
+
+
+def _resolve_workload(name: Optional[str],
+                      kernel_file: Optional[str] = None) -> str:
+    """Validate a workload selection and return its registry name.
+
+    Resolution *and* materialisation happen here so every failure mode
+    -- a typo'd name (difflib suggestions), an out-of-range scenario
+    parameter, a missing or malformed kernel file -- fails fast with a
+    clean one-line error instead of argparse's choices dump or a
+    traceback from deep inside the runner.  The built kernel is
+    memoised by the registry, so the subsequent simulate/compile pays
+    nothing extra.
+    """
+    if kernel_file is not None:
+        if name is not None:
+            print("error: pass either a workload name or --kernel-file, "
+                  "not both", file=sys.stderr)
+            raise _WorkloadResolutionError(2)
+        _require_json_suffix(kernel_file)
+        name = kernel_file
+    if name is None:
+        print("error: a workload name or --kernel-file is required",
+              file=sys.stderr)
+        raise _WorkloadResolutionError(2)
+    try:
+        default_registry().get_kernel(name)
+    except ValueError as error:
+        # Covers UnknownWorkloadError (difflib suggestions),
+        # KernelSerializationError (bad/missing file), and out-of-range
+        # scenario parameters -- all ValueError subclasses.
+        print(f"error: {error}", file=sys.stderr)
+        raise _WorkloadResolutionError(2) from None
+    return name
+
+
 def _cmd_simulate(args) -> None:
+    workload = _resolve_workload(args.workload, args.kernel_file)
     # Configuration #1 uses the same 272KB normalisation baseline as the
     # experiments (MRF + the 16KB RFC budget), so printed IPC numbers
     # are directly comparable to the figures.
@@ -103,8 +209,8 @@ def _cmd_simulate(args) -> None:
     if args.latency is not None:
         config = config.with_latency_multiple(args.latency)
     runner = Runner()
-    result = runner.simulate(args.workload, args.policy, config)
-    print(f"workload           {args.workload}")
+    result = runner.simulate(workload, args.policy, config)
+    print(f"workload           {workload}")
     print(f"policy             {args.policy}")
     print(f"config             #{args.config} "
           f"({config.mrf_size_kb}KB, {config.mrf_latency_multiple}x)")
@@ -119,14 +225,14 @@ def _cmd_simulate(args) -> None:
     print(f"engine             {runner.render_telemetry()}")
     if args.sms > 1:
         gpu = GPU(config, POLICIES[args.policy], num_sms=args.sms)
-        chip = gpu.run(get_kernel(args.workload))
+        chip = gpu.run(get_kernel(workload))
         print(f"chip ({args.sms} SMs)      "
               f"ipc={chip.ipc:.3f} (slowest-SM denominator), "
               f"per-SM-normalised ipc={chip.sm_normalized_ipc:.3f}")
 
 
 def _cmd_compile(args) -> None:
-    kernel = get_kernel(args.workload)
+    kernel = get_kernel(_resolve_workload(args.workload))
     compiled = compile_kernel(
         kernel, region_kind=args.regions, max_registers=args.max_registers
     )
@@ -154,44 +260,97 @@ def _cmd_experiment(names: List[str], jobs: int) -> None:
 
 
 def _cmd_sweep(args) -> None:
+    workload = _resolve_workload(args.workload, args.kernel_file)
     runner = Runner()
     policies = [policy.strip() for policy in args.policies.split(",")]
     runner.simulate_many(
         [
             request
             for policy in policies
-            for request in sweep_requests(policy, args.workload)
+            for request in sweep_requests(policy, workload)
         ],
         jobs=args.jobs,
     )
     for policy in policies:
-        sweep = normalized_sweep(runner, policy, args.workload)
+        sweep = normalized_sweep(runner, policy, workload)
         tolerable = max_tolerable_latency(sweep)
         curve = "  ".join(f"{value:.2f}" for value in sweep)
         print(f"{policy:12s} {curve}  -> tolerates {tolerable:.1f}x")
 
 
-def main(argv: List[str] = None) -> int:
-    args = _build_parser().parse_args(argv)
-    if args.command == "list-workloads":
-        for name in workload_names():
-            spec = SUITE[name]
+def _cmd_export_kernel(args) -> None:
+    workload = _resolve_workload(args.workload)
+    kernel = get_kernel(workload)
+    output = args.output
+    if output is None:
+        output = f"{workload.replace('/', '_')}{KERNEL_FILE_SUFFIX}"
+    else:
+        _require_json_suffix(output)
+    try:
+        save_kernel(kernel, output)
+    except OSError as error:
+        print(f"error: cannot write {output!r}: {error}", file=sys.stderr)
+        raise _WorkloadResolutionError(2) from None
+    print(f"exported {workload} -> {output} "
+          f"(fingerprint {kernel_fingerprint(kernel)})")
+
+
+def _cmd_list_workloads(args) -> None:
+    registry = default_registry()
+    if args.family is not None:
+        try:
+            family = registry.family(args.family)
+        except UnknownWorkloadError as error:
+            print(f"error: {error}", file=sys.stderr)
+            raise _WorkloadResolutionError(2) from None
+        print(f"family    {family.prefix}")
+        print(f"about     {family.description}")
+        print(f"parameter {family.parameter}")
+        print(f"naming    {family.prefix}-<parameter>, e.g. "
+              + ", ".join(family.examples))
+        return
+    # List what the registry can actually resolve -- including specs
+    # registered at runtime -- not just the built-in suite dict.
+    for name in registry.names():
+        provider = registry.provider(name)
+        spec = getattr(provider, "spec", None)
+        if spec is not None:
             print(f"{name:16s} {spec.category:22s} "
                   f"regs={spec.registers:3d} (fermi {spec.registers_fermi})")
-    elif args.command == "list-policies":
-        for name in sorted(POLICIES):
-            print(name)
-    elif args.command == "list-experiments":
-        for name in sorted(EXPERIMENTS):
-            print(name)
-    elif args.command == "simulate":
-        _cmd_simulate(args)
-    elif args.command == "compile":
-        _cmd_compile(args)
-    elif args.command == "experiment":
-        _cmd_experiment(args.names, args.jobs)
-    elif args.command == "sweep":
-        _cmd_sweep(args)
+        else:
+            category = provider.category or "category on build"
+            print(f"{name:16s} {category:22s} {provider.description}")
+    print()
+    print("scenario families (use <family>-<parameter>, "
+          "or --family <name> for details):")
+    for family in registry.families():
+        print(f"{family.prefix:16s} {family.description} "
+              f"[{family.low}..{family.high}]")
+
+
+def main(argv: List[str] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list-workloads":
+            _cmd_list_workloads(args)
+        elif args.command == "list-policies":
+            for name in sorted(POLICIES):
+                print(name)
+        elif args.command == "list-experiments":
+            for name in sorted(EXPERIMENTS):
+                print(name)
+        elif args.command == "simulate":
+            _cmd_simulate(args)
+        elif args.command == "compile":
+            _cmd_compile(args)
+        elif args.command == "export-kernel":
+            _cmd_export_kernel(args)
+        elif args.command == "experiment":
+            _cmd_experiment(args.names, args.jobs)
+        elif args.command == "sweep":
+            _cmd_sweep(args)
+    except _WorkloadResolutionError as error:
+        return int(error.code)
     return 0
 
 

@@ -23,7 +23,7 @@ from repro.experiments.runner import (
     table2_config,
 )
 from repro.power.energy import normalized_power
-from repro.workloads import EVALUATION, SUITE
+from repro.workloads import EVALUATION, workload_category
 
 
 def _workloads(workloads: Optional[List[str]]) -> List[str]:
@@ -52,7 +52,7 @@ def fig3(runner: Runner, workloads: Optional[List[str]] = None,
     for name, base, (ideal_rec, real_rec) in comparison:
         ideal = ideal_rec.ipc / base.ipc
         real = real_rec.ipc / base.ipc
-        category = SUITE[name].category
+        category = workload_category(name)
         result.add_row(name, category, ideal, real)
         ideal_values.append(ideal)
         real_values.append(real)
@@ -86,7 +86,7 @@ def fig4(runner: Runner, workloads: Optional[List[str]] = None,
     for index, name in enumerate(names):
         hw_rec, sw_rec = records[2 * index:2 * index + 2]
         hw, sw = hw_rec.rfc_hit_rate, sw_rec.rfc_hit_rate
-        result.add_row(name, SUITE[name].category, hw, sw)
+        result.add_row(name, workload_category(name), hw, sw)
         hw_rates.append(hw)
         sw_rates.append(sw)
     result.summary = {
@@ -121,7 +121,7 @@ def fig9(runner: Runner, config_id: int = 6,
             value = record.ipc / base.ipc
             row.append(value)
             series[policy].append(value)
-        result.add_row(name, SUITE[name].category, *row)
+        result.add_row(name, workload_category(name), *row)
     result.summary = {
         f"{policy}_mean": geomean(values)
         for policy, values in series.items()
@@ -151,7 +151,7 @@ def fig10(runner: Runner, workloads: Optional[List[str]] = None,
             value = normalized_power(record, base, 7, policy)
             row.append(value)
             series[policy].append(value)
-        result.add_row(name, SUITE[name].category, *row)
+        result.add_row(name, workload_category(name), *row)
     result.summary = {
         f"{policy}_mean": mean(values) for policy, values in series.items()
     }

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.report import ExperimentResult, mean
 from repro.experiments.runner import Runner, SimRequest, sweep_config
-from repro.workloads import EVALUATION, SUITE
+from repro.workloads import EVALUATION, workload_category
 
 #: The latency grid of Figures 12-14 (x axis: 1x..7x).
 LATENCY_GRID = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0)
@@ -108,7 +108,7 @@ def fig11(runner: Runner, workloads: Optional[List[str]] = None,
             tolerable = max_tolerable_latency(sweep, loss=loss)
             row.append(tolerable)
             series[policy].append(tolerable)
-        result.add_row(name, SUITE[name].category, *row)
+        result.add_row(name, workload_category(name), *row)
     result.summary = {
         f"{policy}_mean": mean(values) for policy, values in series.items()
     }

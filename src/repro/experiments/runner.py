@@ -28,15 +28,20 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, Iterable, List, Optional
 
 from repro.arch.config import GPUConfig
 from repro.arch.sm import StreamingMultiprocessor
+from repro.ir import kernel_fingerprint
 from repro.policies import policy_by_name
-from repro.workloads import get_kernel
+from repro.util import atomic_write_text
+from repro.workloads import (
+    UnknownWorkloadError,
+    get_kernel,
+    workload_fingerprint,
+)
 
 
 def default_cache_dir() -> str:
@@ -121,6 +126,13 @@ class SimTelemetry:
     instructions: int
     cycles_skipped: int
     event_counts: Dict[str, int]
+    #: Content fingerprint of the kernel this run actually simulated.
+    #: For generated workloads it always equals the fingerprint in the
+    #: request's cache key; for file-backed workloads the file may be
+    #: rewritten between the caller's key computation and the (worker's)
+    #: execution, and the runner uses this to store the record under
+    #: the content that produced it (see Runner._content_key).
+    kernel_fingerprint: str = ""
 
 
 def execute_request_with_telemetry(request: SimRequest):
@@ -164,6 +176,7 @@ def execute_request_with_telemetry(request: SimRequest):
         instructions=result.instructions,
         cycles_skipped=result.cycles_skipped,
         event_counts=result.event_counts,
+        kernel_fingerprint=kernel_fingerprint(kernel),
     )
     return record, telemetry
 
@@ -237,17 +250,46 @@ class Runner:
 
     def _key(self, workload: str, policy: str, config: GPUConfig,
              seed: int) -> str:
-        return f"{workload}__{policy}__{_config_fingerprint(config)}__{seed}"
+        # The kernel content fingerprint is part of the key: a name is
+        # just a lookup handle (a generator edit, a re-parameterised
+        # scenario, or a replaced .kernel.json can silently change what
+        # it denotes), and serving a cached record for different kernel
+        # content would be silently wrong results.  Fingerprints are
+        # memoised per process, so this costs one kernel build per
+        # workload name.
+        return (
+            f"{workload}__{policy}__{_config_fingerprint(config)}__{seed}"
+            f"__k{workload_fingerprint(workload)}"
+        )
 
     def request_key(self, request: SimRequest) -> str:
         return self._key(
             request.workload, request.policy, request.config, request.seed
         )
 
+    @staticmethod
+    def _content_key(key: str, telemetry: SimTelemetry) -> str:
+        """The key a freshly simulated record must be *stored* under.
+
+        Normally identical to ``key``.  A file-backed kernel, though,
+        can be rewritten between the caller's key computation and the
+        (possibly pool-worker) execution; the worker reports what it
+        actually simulated, and storing under that fingerprint keeps
+        the persistent cache content-correct through the race.
+        """
+        fingerprint = telemetry.kernel_fingerprint
+        if not fingerprint or key.endswith(f"__k{fingerprint}"):
+            return key
+        return f"{key.rsplit('__k', 1)[0]}__k{fingerprint}"
+
     def _cache_path(self, key: str) -> Optional[str]:
         if self.cache_dir is None:
             return None
         safe = key.replace("/", "_").replace("+", "plus")
+        if len(safe) > 180:
+            # File-backed workloads put a whole path in the key; keep
+            # the entry filename within every filesystem's limits.
+            safe = hashlib.sha1(safe.encode()).hexdigest()
         return os.path.join(self.cache_dir, f"{safe}.json")
 
     def _load(self, key: str) -> Optional[RunRecord]:
@@ -286,22 +328,10 @@ class Runner:
         path = self._cache_path(key)
         if path is None:
             return
-        # Atomic publish: write a sibling temp file and os.replace it in,
-        # so concurrent readers never observe a partially written entry
-        # and racing writers (which compute identical payloads) last-win.
-        fd, tmp_path = tempfile.mkstemp(
-            dir=self.cache_dir, prefix=".write-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(asdict(record), handle)
-            os.replace(tmp_path, path)
-        except BaseException:
-            try:
-                os.remove(tmp_path)
-            except OSError:
-                pass
-            raise
+        # Atomic publish, so concurrent readers never observe a
+        # partially written entry and racing writers (which compute
+        # identical payloads) last-win.
+        atomic_write_text(path, json.dumps(asdict(record)))
 
     # -- simulation ---------------------------------------------------------
 
@@ -316,7 +346,7 @@ class Runner:
         record, telemetry = execute_request_with_telemetry(request)
         self.stats.simulated += 1
         self.stats.note_telemetry(telemetry)
-        self._store(key, record)
+        self._store(self._content_key(key, telemetry), record)
         return record
 
     def simulate_many(self, requests: Iterable[SimRequest],
@@ -359,10 +389,23 @@ class Runner:
                     }
                     for future in as_completed(futures):
                         key = futures[future]
-                        record, telemetry = future.result()
+                        try:
+                            record, telemetry = future.result()
+                        except UnknownWorkloadError as error:
+                            raise RuntimeError(
+                                f"workload "
+                                f"{pending[key].workload!r} could not "
+                                "be resolved in a worker process: "
+                                "runtime registrations are "
+                                "per-process.  Export it to a "
+                                ".kernel.json file, add it to the "
+                                "suite or built-in families, or run "
+                                "with jobs=1."
+                            ) from error
                         self.stats.simulated += 1
                         self.stats.note_telemetry(telemetry)
-                        self._store(key, record)
+                        self._store(self._content_key(key, telemetry),
+                                    record)
                         results[key] = record
             else:
                 for key, request in items:
@@ -371,7 +414,7 @@ class Runner:
                     )
                     self.stats.simulated += 1
                     self.stats.note_telemetry(telemetry)
-                    self._store(key, record)
+                    self._store(self._content_key(key, telemetry), record)
                     results[key] = record
         return [results[key] for key in keys]
 

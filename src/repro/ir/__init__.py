@@ -25,6 +25,17 @@ from repro.ir.registers import (
     popcount,
     register_name,
 )
+from repro.ir.serialize import (
+    SCHEMA_VERSION,
+    KernelSerializationError,
+    dumps_kernel,
+    kernel_fingerprint,
+    kernel_from_dict,
+    kernel_to_dict,
+    load_kernel,
+    loads_kernel,
+    save_kernel,
+)
 
 __all__ = [
     "BasicBlock",
@@ -34,18 +45,27 @@ __all__ = [
     "Instruction",
     "Kernel",
     "KernelBuilder",
+    "KernelSerializationError",
     "LONG_LATENCY_OPCODES",
     "LivenessInfo",
     "MAX_ARCH_REGS",
     "MEMORY_OPCODES",
     "MemorySpec",
     "Opcode",
+    "SCHEMA_VERSION",
     "TraceEntry",
     "analyze",
     "annotate_dead_operands",
     "check_register",
     "decode_bitvector",
+    "dumps_kernel",
     "encode_bitvector",
+    "kernel_fingerprint",
+    "kernel_from_dict",
+    "kernel_to_dict",
+    "load_kernel",
+    "loads_kernel",
     "popcount",
     "register_name",
+    "save_kernel",
 ]

@@ -1,0 +1,40 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+#: The process umask, read once at import (reading it requires setting
+#: it, which is not thread-safe to do per call while other threads may
+#: be creating files).
+_UMASK = os.umask(0)
+os.umask(_UMASK)
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Readers only ever observe the complete file, and racing writers
+    last-win -- the invariant both the result cache and kernel-file
+    export rely on for concurrent runners sharing a directory.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".write-", suffix=".tmp"
+    )
+    try:
+        if hasattr(os, "fchmod"):
+            # mkstemp creates 0600; honour the umask instead, since
+            # this also writes user-facing files (export-kernel), not
+            # just private cache entries.
+            os.fchmod(fd, 0o666 & ~_UMASK)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise

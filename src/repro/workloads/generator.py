@@ -147,6 +147,15 @@ def _derive_shape(spec: WorkloadSpec):
     return values_per_segment, trips
 
 
+def emit_entry_parameters(builder: KernelBuilder) -> None:
+    """Emit the standard entry block: r0-r7 hold long-lived
+    "parameter" values (shared by the suite generator and the scenario
+    families in :mod:`repro.workloads.scenarios`)."""
+    builder.block("entry")
+    for parameter in range(_VALUE_BASE):
+        builder.alu(parameter, (parameter + 1) % _VALUE_BASE)
+
+
 def build_kernel(spec: WorkloadSpec) -> Kernel:
     """Materialise a :class:`WorkloadSpec` into an executable kernel."""
     rng = random.Random(spec.seed * 0x9E3779B1 + 17)
@@ -154,9 +163,7 @@ def build_kernel(spec: WorkloadSpec) -> Kernel:
     values = _ValueRotation(spec.registers - _VALUE_BASE, rng)
     values_per_segment, loop_trips = _derive_shape(spec)
 
-    builder.block("entry")
-    for parameter in range(_VALUE_BASE):
-        builder.alu(parameter, (parameter + 1) % _VALUE_BASE)
+    emit_entry_parameters(builder)
 
     builder.block("loop")
     stream = 0

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.ir.kernel import Kernel
-from repro.workloads.generator import WorkloadSpec, build_kernel
+from repro.workloads.generator import WorkloadSpec
 
 SENSITIVE = "register-sensitive"
 INSENSITIVE = "register-insensitive"
@@ -104,10 +104,8 @@ EVALUATION_INSENSITIVE: List[str] = [
 ]
 EVALUATION: List[str] = EVALUATION_INSENSITIVE + EVALUATION_SENSITIVE
 
-_KERNEL_CACHE: Dict[str, Kernel] = {}
-
-
 def workload_names() -> List[str]:
+    """Names of the 35-workload paper suite (not scenario instances)."""
     return list(SUITE)
 
 
@@ -121,13 +119,15 @@ def get_spec(name: str) -> WorkloadSpec:
 
 
 def get_kernel(name: str) -> Kernel:
-    """Build (and memoise) the kernel for a named workload.
+    """Build (and memoise) the kernel for any registered workload name.
 
+    Resolves through the default :class:`~repro.workloads.registry.
+    WorkloadRegistry`, so beyond the suite this accepts scenario-family
+    instances (``regpressure-128``) and ``.kernel.json`` paths.
     Callers must not mutate the returned kernel; compile passes clone.
     """
-    if name not in _KERNEL_CACHE:
-        _KERNEL_CACHE[name] = build_kernel(get_spec(name))
-    return _KERNEL_CACHE[name]
+    from repro.workloads.registry import default_registry
+    return default_registry().get_kernel(name)
 
 
 def evaluation_kernels() -> List[Kernel]:

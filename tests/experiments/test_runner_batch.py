@@ -12,6 +12,14 @@ from repro.experiments.runner import default_cache_dir
 SMALL = GPUConfig(max_resident_warps=8, active_warps=4)
 
 
+def _raise_unknown_workload(request):
+    """Module-level (picklable) stand-in for a worker-side resolution
+    failure, as a spawn-start worker without runtime registrations
+    would produce."""
+    from repro.workloads import UnknownWorkloadError
+    raise UnknownWorkloadError(request.workload, [], [])
+
+
 def small_grid():
     return [
         SimRequest(workload, policy, SMALL)
@@ -102,6 +110,106 @@ class TestCacheHardening:
             if name.startswith(".write-")
         ]
         assert leftovers == []
+
+
+class TestCacheKeyFingerprint:
+    """The cache key must pin the kernel *content*, not just its name."""
+
+    def test_key_embeds_kernel_fingerprint(self):
+        from repro.workloads import workload_fingerprint
+        runner = Runner(cache_dir=None)
+        key = runner.request_key(SimRequest("btree", "BL", SMALL))
+        assert key.endswith(f"__k{workload_fingerprint('btree')}")
+
+    def test_changed_kernel_content_changes_key(self, monkeypatch):
+        """A generator/spec edit must invalidate old entries (the seed
+        key was name+policy+config+seed only: silently wrong results)."""
+        import repro.experiments.runner as runner_module
+        runner = Runner(cache_dir=None)
+        request = SimRequest("btree", "BL", SMALL)
+        before = runner.request_key(request)
+        monkeypatch.setattr(
+            runner_module, "workload_fingerprint",
+            lambda name: "deadbeefdeadbeef",
+        )
+        after = runner.request_key(request)
+        assert before != after
+        assert after.endswith("__kdeadbeefdeadbeef")
+
+    def test_file_workload_key_and_entry_path(self, tmp_path):
+        """Path-named workloads produce filesystem-safe cache entries."""
+        from repro.ir import save_kernel
+        from repro.workloads import get_kernel
+        path = str(tmp_path / "nested" / "dir")
+        os.makedirs(path)
+        kernel_path = os.path.join(path, "bt.kernel.json")
+        save_kernel(get_kernel("btree"), kernel_path)
+        runner = Runner(cache_dir=str(tmp_path / "cache"))
+        record = runner.simulate(kernel_path, "BL", SMALL)
+        assert record.workload == kernel_path
+        entry = runner._cache_path(
+            runner.request_key(SimRequest(kernel_path, "BL", SMALL))
+        )
+        assert os.path.exists(entry)
+        assert os.path.basename(entry).count("/") == 0
+        assert len(os.path.basename(entry)) <= 185
+
+
+class TestContentKeyedStore:
+    """Records are stored under the fingerprint actually simulated."""
+
+    def test_store_rekeys_when_simulated_content_differs(self, tmp_path,
+                                                         monkeypatch):
+        import repro.experiments.runner as runner_module
+        runner = Runner(cache_dir=str(tmp_path))
+        request = SimRequest("btree", "BL", SMALL)
+        key = runner.request_key(request)
+        record, telemetry = runner_module.execute_request_with_telemetry(
+            request
+        )
+        shifted = runner_module.SimTelemetry(
+            engine=telemetry.engine, host_seconds=telemetry.host_seconds,
+            cycles=telemetry.cycles, instructions=telemetry.instructions,
+            cycles_skipped=telemetry.cycles_skipped,
+            event_counts=telemetry.event_counts,
+            kernel_fingerprint="feedfacefeedface",
+        )
+        monkeypatch.setattr(
+            runner_module, "execute_request_with_telemetry",
+            lambda req: (record, shifted),
+        )
+        runner.simulate("btree", "BL", SMALL)
+        expected = f"{key.rsplit('__k', 1)[0]}__kfeedfacefeedface"
+        assert os.path.exists(runner._cache_path(expected))
+        assert not os.path.exists(runner._cache_path(key))
+
+    def test_normal_runs_store_under_request_key(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        request = SimRequest("btree", "BL", SMALL)
+        runner.simulate("btree", "BL", SMALL)
+        assert os.path.exists(
+            runner._cache_path(runner.request_key(request))
+        )
+
+    def test_worker_resolution_failure_is_actionable(self, tmp_path,
+                                                     monkeypatch):
+        """A worker that cannot resolve the workload (spawn-start
+        platforms rebuild the registry without runtime registrations)
+        surfaces as an actionable error, not a raw traceback.  Forked
+        workers inherit registrations, so the failure is injected."""
+        import pytest
+        import repro.experiments.runner as runner_module
+        monkeypatch.setattr(
+            runner_module, "execute_request_with_telemetry",
+            _raise_unknown_workload,
+        )
+        runner = Runner(cache_dir=str(tmp_path))
+        with pytest.raises(RuntimeError, match="per-process"):
+            runner.simulate_many(
+                [SimRequest("btree", "BL", SMALL),
+                 SimRequest("btree", "RFC", SMALL)],
+                jobs=2,
+            )
 
 
 class TestDefaultCacheDir:

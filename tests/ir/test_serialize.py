@@ -1,0 +1,265 @@
+"""Tests for versioned kernel serialization and content fingerprints."""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_kernel
+from repro.ir import (
+    SCHEMA_VERSION,
+    KernelBuilder,
+    KernelSerializationError,
+    dumps_kernel,
+    kernel_fingerprint,
+    kernel_from_dict,
+    kernel_to_dict,
+    load_kernel,
+    loads_kernel,
+    save_kernel,
+)
+from repro.workloads import WorkloadSpec, build_kernel, get_kernel
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def tiny_kernel():
+    return (
+        KernelBuilder("tiny")
+        .block("entry")
+        .alu(0, 1)
+        .load(2, stream=1, footprint=1 << 20)
+        .block("loop")
+        .fma(3, 2, 0, 3)
+        .branch("loop", trip_count=4)
+        .block("end")
+        .store(3, stream=2, footprint=1 << 20)
+        .exit()
+        .build()
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_lossless(self):
+        kernel = tiny_kernel()
+        payload = kernel_to_dict(kernel)
+        rebuilt = kernel_from_dict(payload)
+        assert kernel_to_dict(rebuilt) == payload
+        assert kernel_fingerprint(rebuilt) == kernel_fingerprint(kernel)
+
+    def test_text_round_trip(self):
+        kernel = tiny_kernel()
+        rebuilt = loads_kernel(dumps_kernel(kernel))
+        assert kernel_to_dict(rebuilt) == kernel_to_dict(kernel)
+
+    def test_file_round_trip(self, tmp_path):
+        kernel = get_kernel("btree")
+        path = str(tmp_path / "btree.kernel.json")
+        save_kernel(kernel, path)
+        rebuilt = load_kernel(path)
+        assert kernel_to_dict(rebuilt) == kernel_to_dict(kernel)
+        assert rebuilt.name == "btree"
+        assert rebuilt.category == kernel.category
+        assert rebuilt.threads_per_block == kernel.threads_per_block
+
+    def test_round_trip_preserves_traces(self):
+        kernel = get_kernel("hotspot")   # diamond + loops
+        rebuilt = kernel_from_dict(kernel_to_dict(kernel))
+        original = [repr(entry) for entry in kernel.trace(seed=3)]
+        replayed = [repr(entry) for entry in rebuilt.trace(seed=3)]
+        assert original == replayed
+
+    def test_compiled_kernel_round_trips(self):
+        """PREFETCH vectors and dead-operand annotations survive."""
+        compiled = compile_kernel(get_kernel("btree"))
+        kernel = compiled.kernel
+        payload = kernel_to_dict(kernel)
+        assert any(
+            "prefetch_registers" in instruction
+            for block in payload["blocks"]
+            for instruction in block["instructions"]
+        )
+        rebuilt = kernel_from_dict(payload)
+        assert kernel_to_dict(rebuilt) == payload
+        assert kernel_fingerprint(rebuilt) == kernel_fingerprint(kernel)
+
+
+class TestRoundTripProperties:
+    @given(
+        registers=st.integers(min_value=16, max_value=200),
+        segments=st.integers(min_value=1, max_value=5),
+        diamond=st.booleans(),
+        inner=st.sampled_from([0, 3]),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_generator_specs_round_trip(self, registers, segments,
+                                               diamond, inner, seed):
+        spec = WorkloadSpec(
+            "prop", "register-sensitive", registers, min(64, registers),
+            segments=segments, diamond=diamond, inner_trips=inner,
+            seed=seed,
+        )
+        kernel = build_kernel(spec)
+        payload = kernel_to_dict(kernel)
+        rebuilt = kernel_from_dict(payload)
+        assert kernel_to_dict(rebuilt) == payload
+        assert kernel_fingerprint(rebuilt) == kernel_fingerprint(kernel)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_fingerprint_is_stable_across_rebuilds(self, seed):
+        spec = WorkloadSpec("fp", "register-sensitive", 64, 40, seed=seed)
+        assert kernel_fingerprint(build_kernel(spec)) == kernel_fingerprint(
+            build_kernel(spec)
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=15, deadline=None)
+    def test_fingerprint_distinguishes_content(self, seed):
+        base = WorkloadSpec("fp", "register-sensitive", 64, 40, seed=seed)
+        changed = WorkloadSpec("fp", "register-sensitive", 66, 40, seed=seed)
+        assert kernel_fingerprint(build_kernel(base)) != kernel_fingerprint(
+            build_kernel(changed)
+        )
+
+
+class TestFingerprint:
+    def test_excludes_schema_envelope(self):
+        """Bumping the schema version must not invalidate result caches."""
+        kernel = tiny_kernel()
+        fingerprint = kernel_fingerprint(kernel)
+        payload = kernel_to_dict(kernel)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        # The fingerprint is derived from content only, so it can be
+        # recomputed from the payload minus the envelope.
+        import hashlib
+        content = dict(payload)
+        del content["schema"], content["schema_version"]
+        blob = json.dumps(content, sort_keys=True, separators=(",", ":"))
+        assert fingerprint == hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def test_sensitive_to_metadata(self):
+        kernel = tiny_kernel()
+        payload = kernel_to_dict(kernel)
+        payload["threads_per_block"] = 128
+        assert kernel_fingerprint(kernel_from_dict(payload)) != (
+            kernel_fingerprint(kernel)
+        )
+
+
+class TestSchemaChecks:
+    def test_rejects_wrong_schema(self):
+        payload = kernel_to_dict(tiny_kernel())
+        payload["schema"] = "something-else"
+        with pytest.raises(KernelSerializationError, match="schema"):
+            kernel_from_dict(payload)
+
+    def test_rejects_unsupported_version(self):
+        payload = kernel_to_dict(tiny_kernel())
+        payload["schema_version"] = 999
+        with pytest.raises(KernelSerializationError, match="version"):
+            kernel_from_dict(payload)
+
+    def test_rejects_missing_version(self):
+        payload = kernel_to_dict(tiny_kernel())
+        del payload["schema_version"]
+        with pytest.raises(KernelSerializationError, match="version"):
+            kernel_from_dict(payload)
+
+    def test_rejects_unknown_opcode(self):
+        payload = kernel_to_dict(tiny_kernel())
+        payload["blocks"][0]["instructions"][0]["opcode"] = "warpspeed"
+        with pytest.raises(KernelSerializationError, match="opcode"):
+            kernel_from_dict(payload)
+
+    def test_rejects_missing_blocks(self):
+        with pytest.raises(KernelSerializationError, match="missing"):
+            kernel_from_dict({"schema": "ltrf-kernel", "schema_version": 1,
+                              "name": "x", "category": "register-sensitive"})
+
+    def test_rejects_misspelled_instruction_field(self):
+        """Unknown keys must fail loudly, not silently default: a
+        misspelled 'stride_bytes' would otherwise simulate a different
+        kernel than the author wrote."""
+        payload = kernel_to_dict(tiny_kernel())
+        load = payload["blocks"][0]["instructions"][1]
+        load["mem"]["stride_byte"] = load["mem"].pop("stride_bytes")
+        with pytest.raises(KernelSerializationError, match="stride_byte"):
+            kernel_from_dict(payload)
+
+    def test_rejects_misspelled_branch_field(self):
+        payload = kernel_to_dict(tiny_kernel())
+        branch = payload["blocks"][1]["instructions"][-1]
+        branch["trip_cout"] = branch.pop("trip_count")
+        with pytest.raises(KernelSerializationError, match="trip_cout"):
+            kernel_from_dict(payload)
+
+    def test_rejects_unknown_kernel_and_block_fields(self):
+        payload = kernel_to_dict(tiny_kernel())
+        payload["threads"] = 128
+        with pytest.raises(KernelSerializationError, match="threads"):
+            kernel_from_dict(payload)
+        payload = kernel_to_dict(tiny_kernel())
+        payload["blocks"][0]["lable"] = "x"
+        with pytest.raises(KernelSerializationError, match="lable"):
+            kernel_from_dict(payload)
+
+    def test_rejects_non_dict_blocks(self):
+        payload = kernel_to_dict(tiny_kernel())
+        payload["blocks"] = ["oops"]
+        with pytest.raises(KernelSerializationError, match="block payload"):
+            kernel_from_dict(payload)
+        payload["blocks"] = "oops"
+        with pytest.raises(KernelSerializationError, match="must be a list"):
+            kernel_from_dict(payload)
+
+    def test_rejects_invalid_json_text(self):
+        with pytest.raises(KernelSerializationError, match="JSON"):
+            loads_kernel("{not json")
+
+    def test_rejects_structurally_invalid_kernel(self):
+        # A branch to a label that does not exist must fail CFG
+        # validation, wrapped in the serialization error type.
+        payload = kernel_to_dict(tiny_kernel())
+        payload["blocks"][1]["instructions"][-1]["target"] = "nowhere"
+        with pytest.raises(KernelSerializationError):
+            kernel_from_dict(payload)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(KernelSerializationError, match="cannot read"):
+            load_kernel(str(tmp_path / "absent.kernel.json"))
+
+
+class TestPinnedFixture:
+    """A committed .kernel.json must keep loading under the current schema.
+
+    If SCHEMA_VERSION is ever bumped incompatibly, this test forces the
+    author to either keep a version-1 loader or migrate the fixture --
+    i.e. files in the wild cannot be silently orphaned.
+    """
+
+    PATH = os.path.join(FIXTURES, "depchain-16.kernel.json")
+    FINGERPRINT = "6a4d7aa1a5e25922"
+
+    def test_loads_and_validates(self):
+        kernel = load_kernel(self.PATH)
+        kernel.cfg.validate()
+        assert kernel.name == "depchain-16"
+        assert kernel.dynamic_instruction_count() == 865
+
+    def test_fingerprint_pinned(self):
+        """The committed bytes hash to the committed fingerprint.
+
+        Guards both fingerprint stability (algorithm changes show up
+        here) and accidental fixture edits.
+        """
+        assert kernel_fingerprint(load_kernel(self.PATH)) == self.FINGERPRINT
+
+    def test_fixture_matches_live_family(self):
+        """The scenario family still generates the committed content."""
+        assert kernel_fingerprint(get_kernel("depchain-16")) == (
+            self.FINGERPRINT
+        )

@@ -1,0 +1,216 @@
+"""Unit tests for the perf-regression gate script."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))),
+    "scripts", "check_bench_regression.py",
+)
+_spec = importlib.util.spec_from_file_location(
+    "check_bench_regression", _SCRIPT
+)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def bench_json(path, medians, extra_benchmarks=()):
+    payload = {
+        "machine_info": {"node": "test"},
+        "benchmarks": [
+            {"fullname": name, "stats": {"median": median}}
+            for name, median in medians.items()
+        ] + list(extra_benchmarks),
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+@pytest.fixture
+def paths(tmp_path):
+    return tmp_path / "current.json", tmp_path / "baseline.json"
+
+
+class TestLoadMedians:
+    def test_reads_medians(self, tmp_path):
+        path = bench_json(tmp_path / "b.json", {"a": 0.5, "b": 1.5})
+        medians, malformed = gate.load_medians(path)
+        assert medians == {"a": 0.5, "b": 1.5}
+        assert malformed == []
+
+    def test_malformed_entries_do_not_crash(self, tmp_path):
+        path = bench_json(
+            tmp_path / "b.json", {"ok": 1.0},
+            extra_benchmarks=[
+                {"fullname": "no-median", "stats": {}},
+                {"fullname": "no-stats"},
+                {"stats": {"median": 1.0}},       # unnamed
+                "not-a-dict",
+            ],
+        )
+        medians, malformed = gate.load_medians(path)
+        assert medians == {"ok": 1.0}
+        assert "no-median" in malformed and "no-stats" in malformed
+        assert len(malformed) == 4
+
+    def test_non_finite_medians_are_malformed(self, tmp_path):
+        """NaN compares False with everything, so a NaN median would
+        silently never fail the gate if treated as usable."""
+        path = tmp_path / "b.json"
+        path.write_text(
+            '{"benchmarks": ['
+            '{"fullname": "nan", "stats": {"median": NaN}}, '
+            '{"fullname": "inf", "stats": {"median": Infinity}}, '
+            '{"fullname": "bool", "stats": {"median": true}}, '
+            '{"fullname": "ok", "stats": {"median": 1.0}}]}'
+        )
+        medians, malformed = gate.load_medians(str(path))
+        assert medians == {"ok": 1.0}
+        assert sorted(malformed) == ["bool", "inf", "nan"]
+
+
+class TestGate:
+    def test_identical_sets_pass(self, paths, capsys):
+        current, baseline = paths
+        bench_json(current, {"a": 1.0})
+        bench_json(baseline, {"a": 1.0})
+        assert gate.main([str(current), str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "NOTICE" not in out
+
+    def test_regression_fails(self, paths, capsys):
+        current, baseline = paths
+        bench_json(current, {"a": 2.0})
+        bench_json(baseline, {"a": 1.0})
+        assert gate.main([str(current), str(baseline)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_new_benchmark_noticed_not_gated(self, paths, capsys):
+        current, baseline = paths
+        bench_json(current, {"a": 1.0, "brand-new": 0.2})
+        bench_json(baseline, {"a": 1.0})
+        assert gate.main([str(current), str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "NOTICE" in out
+        assert "+ brand-new" in out and "NOT gated" in out
+
+    def test_removed_benchmark_noticed_and_fails(self, paths, capsys):
+        current, baseline = paths
+        bench_json(current, {"a": 1.0})
+        bench_json(baseline, {"a": 1.0, "gone": 0.7})
+        assert gate.main([str(current), str(baseline)]) == 1
+        captured = capsys.readouterr()
+        assert "- gone" in captured.out
+        assert "absent from this run" in captured.out
+        assert "gone" in captured.err      # also a gate failure
+
+    def test_both_directions_in_one_notice(self, paths, capsys):
+        current, baseline = paths
+        bench_json(current, {"a": 1.0, "added": 0.1})
+        bench_json(baseline, {"a": 1.0, "dropped": 0.1})
+        gate.main([str(current), str(baseline)])
+        out = capsys.readouterr().out
+        assert "+ added" in out and "- dropped" in out
+
+    def test_malformed_unbaselined_entry_noticed_no_crash(self, paths,
+                                                          capsys):
+        current, baseline = paths
+        bench_json(current, {"a": 1.0},
+                   extra_benchmarks=[{"fullname": "broken", "stats": {}}])
+        bench_json(baseline, {"a": 1.0})
+        assert gate.main([str(current), str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "? broken" in out and "ignored" in out
+
+    def test_malformed_baselined_entry_fails_with_accurate_message(
+            self, paths, capsys):
+        """Ran-but-unreadable is neither 'not run' nor 'ignored'."""
+        current, baseline = paths
+        bench_json(current, {"a": 1.0},
+                   extra_benchmarks=[{"fullname": "flaky", "stats": {}}])
+        bench_json(baseline, {"a": 1.0, "flaky": 0.4})
+        assert gate.main([str(current), str(baseline)]) == 1
+        captured = capsys.readouterr()
+        assert "gate FAILS" in captured.out
+        assert "no usable median" in captured.err
+        assert "not run" not in captured.err
+        assert "ignored" not in captured.out.split("flaky", 1)[1].splitlines()[0]
+
+    def test_update_writes_slim_baseline(self, paths, capsys):
+        current, baseline = paths
+        bench_json(current, {"a": 1.0})
+        assert gate.main([str(current), str(baseline), "--update"]) == 0
+        payload = json.loads(baseline.read_text())
+        assert payload["benchmarks"] == [
+            {"fullname": "a", "stats": {"median": 1.0}}
+        ]
+
+    def test_update_skips_malformed_entries_with_notice(self, paths,
+                                                        capsys):
+        current, baseline = paths
+        bench_json(current, {"a": 1.0},
+                   extra_benchmarks=[{"fullname": "broken", "stats": {}}])
+        assert gate.main([str(current), str(baseline), "--update"]) == 0
+        out = capsys.readouterr().out
+        assert "NOTICE" in out and "broken" in out
+        payload = json.loads(baseline.read_text())
+        assert [b["fullname"] for b in payload["benchmarks"]] == ["a"]
+
+    def test_malformed_baseline_entry_fails_the_gate(self, paths, capsys):
+        """A rotten baseline entry must not silently un-gate the
+        benchmark it used to cover."""
+        current, baseline = paths
+        bench_json(current, {"a": 1.0, "covered": 0.5})
+        bench_json(baseline, {"a": 1.0},
+                   extra_benchmarks=[{"fullname": "covered", "stats": {}}])
+        assert gate.main([str(current), str(baseline)]) == 1
+        captured = capsys.readouterr()
+        assert "repair or" in captured.err
+        assert "covered" in captured.err
+        assert "+ covered" not in captured.out   # not advertised as new
+
+    def test_malformed_in_both_reported_as_baselined(self, paths, capsys):
+        """Malformed in baseline AND current: still baselined, still a
+        gate failure -- the NOTICE must not call it 'ignored'."""
+        current, baseline = paths
+        bench_json(current, {"a": 1.0},
+                   extra_benchmarks=[{"fullname": "x", "stats": {}}])
+        bench_json(baseline, {"a": 1.0},
+                   extra_benchmarks=[{"fullname": "x", "stats": {}}])
+        assert gate.main([str(current), str(baseline)]) == 1
+        captured = capsys.readouterr()
+        assert "gate FAILS" in captured.out
+        assert "not baselined, ignored" not in captured.out
+
+    def test_truncated_current_json_fails_cleanly(self, paths, capsys):
+        current, baseline = paths
+        current.write_text('{"benchmarks": [{"fullname"')
+        bench_json(baseline, {"a": 1.0})
+        assert gate.main([str(current), str(baseline)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+
+    def test_non_dict_payload_fails_cleanly(self, paths, capsys):
+        current, baseline = paths
+        current.write_text("[1, 2, 3]")
+        bench_json(baseline, {"a": 1.0})
+        assert gate.main([str(current), str(baseline)]) == 2
+        assert "JSON object" in capsys.readouterr().err
+
+    def test_update_on_truncated_json_fails_cleanly(self, paths, capsys):
+        current, baseline = paths
+        current.write_text("{oops")
+        assert gate.main([str(current), str(baseline), "--update"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+        assert not baseline.exists()
+
+    def test_missing_baseline_is_an_error(self, paths, capsys):
+        current, baseline = paths
+        bench_json(current, {"a": 1.0})
+        assert gate.main([str(current), str(baseline)]) == 2
+        assert "no baseline" in capsys.readouterr().err

@@ -64,3 +64,138 @@ def test_simulate_uses_baseline_config(capsys):
     main(["simulate", "btree", "--policy", "BL"])
     out = capsys.readouterr().out
     assert "272KB" in out
+
+
+def _printed_ipc(output):
+    for line in output.splitlines():
+        if line.startswith("IPC"):
+            return line.split()[-1]
+    raise AssertionError(f"no IPC line in {output!r}")
+
+
+class TestWorkloadFrontend:
+    """Registry-backed workload resolution on the CLI."""
+
+    def test_simulate_scenario_family_instance(self, capsys):
+        assert main(["simulate", "depchain-16", "--policy", "BL"]) == 0
+        out = capsys.readouterr().out
+        assert "depchain-16" in out and "IPC" in out
+
+    def test_export_then_simulate_kernel_file_same_ipc(self, capsys,
+                                                       tmp_path):
+        path = str(tmp_path / "bt.kernel.json")
+        assert main(["export-kernel", "btree", "-o", path]) == 0
+        exported = capsys.readouterr().out
+        assert path in exported and "fingerprint" in exported
+        assert main(["simulate", "btree", "--policy", "BL"]) == 0
+        by_name = _printed_ipc(capsys.readouterr().out)
+        assert main(["simulate", "--kernel-file", path,
+                     "--policy", "BL"]) == 0
+        by_file = _printed_ipc(capsys.readouterr().out)
+        assert by_name == by_file
+
+    def test_unknown_workload_suggests_nearest(self, capsys):
+        assert main(["simulate", "backprp"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "backprop" in err
+
+    def test_sweep_unknown_workload_suggests_nearest(self, capsys):
+        assert main(["sweep", "kmean"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "kmeans" in err
+
+    def test_bare_family_name_suggests_instances(self, capsys):
+        assert main(["simulate", "regpressure"]) == 2
+        assert "regpressure-" in capsys.readouterr().err
+
+    def test_out_of_range_family_parameter(self, capsys):
+        assert main(["simulate", "regpressure-9999"]) == 2
+        assert "outside" in capsys.readouterr().err
+
+    def test_kernel_file_with_plain_json_suffix(self, capsys, tmp_path):
+        """export -o foo.json must be loadable back via --kernel-file."""
+        path = str(tmp_path / "bt.json")
+        assert main(["export-kernel", "btree", "-o", path]) == 0
+        capsys.readouterr()
+        assert main(["simulate", "--kernel-file", path,
+                     "--policy", "BL"]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_kernel_file_without_json_suffix_fails_cleanly(self, capsys):
+        assert main(["simulate", "--kernel-file", "kernel.txt"]) == 2
+        assert "must end in .json" in capsys.readouterr().err
+
+    def test_list_workloads_includes_runtime_registrations(self, capsys):
+        from repro.workloads import WorkloadSpec, default_registry
+        registry = default_registry()
+        registry.register_spec(WorkloadSpec(
+            "zz-runtime-test", "register-sensitive", 77, 30, seed=77,
+        ))
+        try:
+            assert main(["list-workloads"]) == 0
+            assert "zz-runtime-test" in capsys.readouterr().out
+        finally:
+            # No public unregister; keep the process-wide registry
+            # clean for other tests.
+            registry._providers.pop("zz-runtime-test")
+
+    def test_missing_kernel_file_fails_cleanly(self, capsys):
+        assert main(["simulate", "--kernel-file",
+                     "/nonexistent/x.kernel.json"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "Traceback" not in err
+
+    def test_corrupt_kernel_file_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "bad.kernel.json"
+        path.write_text("{not json")
+        assert main(["simulate", "--kernel-file", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_blocks_payload_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "shape.kernel.json"
+        path.write_text('{"schema": "ltrf-kernel", "schema_version": 1, '
+                        '"name": "x", "category": "register-sensitive", '
+                        '"blocks": ["oops"]}')
+        assert main(["simulate", "--kernel-file", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
+    def test_export_rejects_non_json_output(self, capsys):
+        assert main(["export-kernel", "btree", "-o", "bt.kernel"]) == 2
+        assert "must end in .json" in capsys.readouterr().err
+
+    def test_export_to_unwritable_path_fails_cleanly(self, capsys):
+        assert main(["export-kernel", "btree", "-o",
+                     "/nonexistent-dir/x.kernel.json"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot write" in err and "Traceback" not in err
+
+    def test_workload_and_kernel_file_conflict(self, capsys):
+        assert main(["simulate", "btree", "--kernel-file", "x.kernel.json"
+                     ]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_simulate_requires_some_workload(self, capsys):
+        assert main(["simulate"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_compile_scenario_family_instance(self, capsys):
+        assert main(["compile", "divergence-25"]) == 0
+        assert "region" in capsys.readouterr().out
+
+    def test_list_workloads_shows_families(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario families" in out
+        for prefix in ("divergence", "stream", "regpressure", "depchain"):
+            assert prefix in out
+
+    def test_list_workloads_family_detail(self, capsys):
+        assert main(["list-workloads", "--family", "regpressure"]) == 0
+        out = capsys.readouterr().out
+        assert "regpressure-<parameter>" in out
+        assert "registers" in out
+
+    def test_list_workloads_unknown_family(self, capsys):
+        assert main(["list-workloads", "--family", "nope"]) == 2
+        assert "unknown" in capsys.readouterr().err

@@ -1,0 +1,193 @@
+"""Tests for the parametric scenario families."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import Opcode, kernel_fingerprint
+from repro.workloads.scenarios import BUILTIN_FAMILIES, ScenarioFamily
+
+FAMILIES = {family.prefix: family for family in BUILTIN_FAMILIES}
+
+
+def family_strategy():
+    return st.sampled_from(BUILTIN_FAMILIES).flatmap(
+        lambda family: st.tuples(
+            st.just(family),
+            st.integers(min_value=family.low, max_value=family.high),
+        )
+    )
+
+
+class TestFamilyMechanics:
+    def test_parse_accepts_only_own_instances(self):
+        family = FAMILIES["regpressure"]
+        assert family.parse("regpressure-128") == 128
+        assert family.parse("regpressure-") is None
+        assert family.parse("regpressure-12x") is None
+        assert family.parse("depchain-16") is None
+
+    def test_instance_name_round_trips(self):
+        for family in BUILTIN_FAMILIES:
+            name = family.instance_name(family.low)
+            assert family.parse(name) == family.low
+
+    def test_parameter_bounds_enforced(self):
+        family = FAMILIES["stream"]
+        with pytest.raises(ValueError, match="outside"):
+            family.build(family.high + 1)
+        with pytest.raises(ValueError, match="outside"):
+            family.build(family.low - 1)
+
+    @given(family_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_instances_are_wellformed(self, family_and_parameter):
+        family, parameter = family_and_parameter
+        kernel = family.build(parameter)
+        kernel.cfg.validate()
+        assert kernel.name == family.instance_name(parameter)
+        assert kernel.category == family.category_for(parameter)
+        # Tractable simulations: the suite generator's minimum trip
+        # count forces ~3.7k dynamic instructions at the very top of
+        # the regpressure ladder (the body must cover the window).
+        length = kernel.dynamic_instruction_count()
+        assert 200 <= length <= 6000
+
+    @given(family_strategy(), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_per_family_parameter_seed(
+            self, family_and_parameter, seed):
+        family, parameter = family_and_parameter
+        first = kernel_fingerprint(family.build(parameter, seed=seed))
+        second = kernel_fingerprint(family.build(parameter, seed=seed))
+        assert first == second
+
+    def test_seed_changes_content(self):
+        family = FAMILIES["regpressure"]
+        assert kernel_fingerprint(family.build(64, seed=0)) != (
+            kernel_fingerprint(family.build(64, seed=1))
+        )
+
+
+class TestFamilyBehaviours:
+    def test_regpressure_hits_requested_registers(self):
+        for registers in (16, 48, 128, 250):
+            kernel = FAMILIES["regpressure"].build(registers)
+            assert abs(kernel.register_count - registers) <= 2
+
+    def test_regpressure_category_ladder(self):
+        family = FAMILIES["regpressure"]
+        assert family.category_for(24) == "register-insensitive"
+        assert family.category_for(33) == "register-sensitive"
+
+    def test_divergence_carries_probability_branches(self):
+        probability_branches = [
+            instruction
+            for _, _, instruction in FAMILIES["divergence"]
+            .build(25).static_instructions()
+            if instruction.taken_probability is not None
+        ]
+        assert len(probability_branches) >= 3
+        assert all(
+            branch.taken_probability == 0.25
+            for branch in probability_branches
+        )
+
+    def test_divergence_join_register_defined_on_both_paths(self):
+        """Each join reads a phi-style register both arms define, so no
+        path reads an uninitialized value on the first trip."""
+        kernel = FAMILIES["divergence"].build(25)
+        for segment in range(3):
+            then_defs = kernel.cfg.block(f"then{segment}").defs()
+            else_defs = kernel.cfg.block(f"else{segment}").defs()
+            join = kernel.cfg.block(f"join{segment}").instructions[0]
+            merged = join.srcs[1]
+            assert merged in then_defs and merged in else_defs
+
+    def test_divergence_arms_chain_off_the_load(self):
+        """Arm instructions consume prior values, not themselves."""
+        kernel = FAMILIES["divergence"].build(25)
+        for block in kernel.cfg.blocks():
+            if not (block.label.startswith("then")
+                    or block.label.startswith("else")):
+                continue
+            for instruction in block.instructions:
+                for destination in instruction.dsts:
+                    assert destination not in instruction.srcs
+
+    def test_divergence_diverges_dynamically(self):
+        kernel = FAMILIES["divergence"].build(50)
+        taken = [
+            entry.taken for entry in kernel.trace(seed=1)
+            if entry.instruction.taken_probability is not None
+        ]
+        assert True in taken and False in taken
+
+    def test_stream_has_zero_locality_streams(self):
+        streams = 8
+        kernel = FAMILIES["stream"].build(streams)
+        loads = [
+            instruction
+            for _, _, instruction in kernel.static_instructions()
+            if instruction.opcode is Opcode.LD_GLOBAL
+        ]
+        assert len(loads) == streams
+        for load in loads:
+            assert load.mem.footprint_bytes >= 64 << 20   # beyond any cache
+            assert load.mem.stride_bytes >= 512           # new line each time
+        assert len({load.mem.stream for load in loads}) == streams
+
+    def test_stream_addresses_never_repeat(self):
+        kernel = FAMILIES["stream"].build(4)
+        addresses = [
+            entry.address for entry in kernel.trace()
+            if entry.instruction.opcode is Opcode.LD_GLOBAL
+        ]
+        assert len(addresses) == len(set(addresses))
+
+    def test_depchain_is_serial(self):
+        """Every chain FMA reads the destination of its predecessor."""
+        kernel = FAMILIES["depchain"].build(32)
+        chain = [
+            instruction
+            for block, _, instruction in kernel.static_instructions()
+            if block == "loop" and instruction.opcode is Opcode.FFMA
+        ]
+        assert len(chain) == 32
+        for previous, current in zip(chain, chain[1:]):
+            assert previous.dsts[0] in current.srcs
+
+    def test_depchain_length_scales_chain(self):
+        short = FAMILIES["depchain"].build(8)
+        long = FAMILIES["depchain"].build(128)
+        def chain_ops(kernel):
+            return sum(
+                1 for _, _, instruction in kernel.static_instructions()
+                if instruction.opcode is Opcode.FFMA
+            )
+        assert chain_ops(short) == 8
+        assert chain_ops(long) == 128
+
+
+class TestFamilyConstruction:
+    def test_rejects_nothing_extra(self):
+        """ScenarioFamily is usable for user-defined families too."""
+        from repro.ir import KernelBuilder
+
+        def build(parameter, seed):
+            return (
+                KernelBuilder(f"noop-{parameter}",
+                              category="register-insensitive")
+                .block("entry")
+                .alu(0, 0)
+                .exit()
+                .build()
+            )
+
+        family = ScenarioFamily(
+            "noop", "does nothing", "N = anything; 1..3", 1, 3, build,
+            lambda n: "register-insensitive", ("noop-2",),
+        )
+        assert family.parse("noop-2") == 2
+        kernel = family.build(2)
+        assert kernel.name == "noop-2"
