@@ -162,6 +162,7 @@ def main(argv=None) -> int:
     removed = sorted(set(baseline) - set(current) - set(unreadable))
 
     failures = []
+    improvements = []
     lines = []
     for name in removed:
         failures.append(f"{name}: present in baseline but not run")
@@ -194,6 +195,14 @@ def main(argv=None) -> int:
                 f"{name}: median {now:.4f}s vs baseline {base:.4f}s "
                 f"({ratio:.2f}x > {1.0 + args.threshold:.2f}x allowed)"
             )
+        elif now < base * (1.0 - args.threshold) - 0.05:
+            # The mirror image of the regression test (same relative
+            # threshold, same absolute timer-noise slack).
+            flag = "  << IMPROVEMENT"
+            improvements.append(
+                f"{name}: median {now:.4f}s vs baseline {base:.4f}s "
+                f"({ratio:.2f}x)"
+            )
         lines.append(f"  {name}: {base:.4f}s -> {now:.4f}s "
                      f"({ratio:.2f}x){flag}")
 
@@ -224,6 +233,17 @@ def main(argv=None) -> int:
                   "(no median); the gate FAILS until the baseline is "
                   "repaired")
         print("  Re-baseline deliberately with: "
+              "python scripts/check_bench_regression.py CURRENT.json "
+              "--update")
+    if improvements:
+        # Deliberate speedups deserve the same visibility as
+        # regressions: an un-rebaselined improvement quietly raises the
+        # regression headroom for every future PR.
+        print(f"\nIMPROVEMENT: {len(improvements)} benchmark(s) ran "
+              f">{args.threshold:.0%} faster than the baseline:")
+        for line in improvements:
+            print(f"  {line}")
+        print("  If intentional, tighten the gate by re-baselining: "
               "python scripts/check_bench_regression.py CURRENT.json "
               "--update")
     if failures:

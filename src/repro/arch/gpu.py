@@ -100,9 +100,21 @@ class GPU:
         self.num_sms = num_sms
 
     def run(self, kernel: Kernel, seed: int = 0) -> GPUResult:
-        """Run ``kernel`` on every SM with per-SM distinct warp seeds."""
+        """Run ``kernel`` on every SM with per-SM distinct warp seeds.
+
+        The policy's executable form of the kernel (e.g. LTRF's
+        compiled artifact) depends only on the kernel and the shared
+        configuration, so it is constructed once and shared by all
+        ``num_sms`` simulations instead of being recompiled per SM.
+        """
         results = []
+        executable = None
         for sm_index in range(self.num_sms):
             sm = StreamingMultiprocessor(self.config, self.policy_factory)
-            results.append(sm.run(kernel, seed=seed + sm_index * 1009))
+            if executable is None:
+                executable = sm.policy.executable_kernel(kernel)
+            results.append(
+                sm.run(kernel, seed=seed + sm_index * 1009,
+                       executable=executable)
+            )
         return GPUResult(per_sm=results)

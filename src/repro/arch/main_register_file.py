@@ -73,12 +73,6 @@ class BankCalendar:
         """
         starts = self._starts
         ends = self._ends
-        if len(ends) > 64 and ends[64] <= floor:
-            # ends is sorted (intervals are disjoint), so one bisect
-            # finds the whole dead prefix.
-            dead = bisect_right(ends, floor)
-            del starts[:dead]
-            del ends[:dead]
         if not starts:
             starts.append(cycle)
             ends.append(cycle + duration)
@@ -91,6 +85,17 @@ class BankCalendar:
                 starts.append(cycle)
                 ends.append(cycle + duration)
             return cycle
+        # Dead-history pruning is only checked on this (conflicting)
+        # path: a calendar that only ever appends stays compact by
+        # merging, while one long enough to accumulate dead history is
+        # guaranteed to route current-cycle accesses here (its tail
+        # holds future result-write reservations past the SM clock).
+        if len(ends) > 64 and ends[64] <= floor:
+            # ends is sorted (intervals are disjoint), so one bisect
+            # finds the whole dead prefix.
+            dead = bisect_right(ends, floor)
+            del starts[:dead]
+            del ends[:dead]
         index = bisect_right(starts, cycle) - 1
         start = cycle
         if index >= 0 and ends[index] > start:
@@ -101,27 +106,31 @@ class BankCalendar:
             if ends[probe] > start:
                 start = ends[probe]
             probe += 1
-        self._insert(start, start + duration)
+        # The scan above establishes the gap: every interval before
+        # ``probe`` ends at or before ``start`` and the interval at
+        # ``probe`` (if any) starts at or after ``end``, so the
+        # insertion point is ``probe`` -- no second search needed.  A
+        # conflict-displaced reservation starts exactly at its
+        # predecessor's end (that is what displaced it), so the
+        # overwhelmingly common outcome is an in-place extension of a
+        # neighbour, not a list insertion (profiled: ~3/4 of all
+        # reservations took the general insert path before this).
+        end = start + duration
+        pred = probe - 1
+        if pred >= 0 and ends[pred] == start:
+            if probe < count and starts[probe] == end:
+                # Bridges the gap exactly: fuse both neighbours.
+                ends[pred] = ends[probe]
+                del starts[probe]
+                del ends[probe]
+            else:
+                ends[pred] = end
+        elif probe < count and starts[probe] == end:
+            starts[probe] = start
+        else:
+            starts.insert(probe, start)
+            ends.insert(probe, end)
         return start
-
-    def _insert(self, start: int, end: int) -> None:
-        starts = self._starts
-        ends = self._ends
-        index = bisect_right(starts, start)
-        starts.insert(index, start)
-        ends.insert(index, end)
-        # Merge with the predecessor and any absorbed successors.
-        if index > 0 and ends[index - 1] >= start:
-            if end > ends[index - 1]:
-                ends[index - 1] = end
-            del starts[index]
-            del ends[index]
-            index -= 1
-        while index + 1 < len(starts) and ends[index] >= starts[index + 1]:
-            if ends[index + 1] > ends[index]:
-                ends[index] = ends[index + 1]
-            del starts[index + 1]
-            del ends[index + 1]
 
 
 class MainRegisterFile:
@@ -140,6 +149,7 @@ class MainRegisterFile:
         self._occupancy = config.mrf_bank_occupancy
         self._bank_latency = config.mrf_bank_latency
         self._transfer_latency = config.mrf_transfer_latency
+        self._access_latency = self._bank_latency + self._transfer_latency
         self._crossbar_regs = config.crossbar_regs_per_cycle
         # Low-water mark for calendar pruning: the SM clock observed at
         # the most recent current-cycle access.  Reads and bulk
@@ -151,26 +161,18 @@ class MainRegisterFile:
     def bank_of(self, warp_id: int, register: int) -> int:
         return (warp_id + register) % self._num_banks
 
-    def _service(self, bank: int, cycle: int,
-                 include_transfer: bool = True) -> int:
-        """Occupy ``bank`` from ``cycle``; return data-available cycle.
-
-        ``include_transfer=False`` is used by bulk transfers, which pay
-        the crossbar traversal once for the whole streamed group rather
-        than once per register.
-        """
-        start = self._banks[bank].reserve(cycle, self._occupancy, self._now)
-        done = start + self._bank_latency
-        if include_transfer:
-            done += self._transfer_latency
-        return done
-
     def read(self, warp_id: int, register: int, cycle: int) -> int:
         """Read one warp-register; returns the cycle the value arrives."""
         self.stats.reads += 1
-        if cycle > self._now:
-            self._now = cycle
-        return self._service(self.bank_of(warp_id, register), cycle)
+        now = self._now
+        if cycle > now:
+            self._now = now = cycle
+        # Bank occupancy + access latency + crossbar traversal, with
+        # the wrapper layers flattened: single reads sit on the operand
+        # hot path and the call overhead was measurable.
+        return self._banks[(warp_id + register) % self._num_banks].reserve(
+            cycle, self._occupancy, now
+        ) + self._access_latency
 
     def read_group(self, warp_id: int, registers, cycle: int) -> int:
         """Read several warp-registers in parallel (operand collection).
@@ -180,13 +182,20 @@ class MainRegisterFile:
         per-instruction operand gather is the hottest call in the whole
         simulator and the per-register wrappers dominate it.
         """
-        if cycle > self._now:
-            self._now = cycle
         now = self._now
+        if cycle > now:
+            self._now = now = cycle
+        if len(registers) == 1:
+            # Single-source instructions dominate several workloads;
+            # skip the group loop's setup for them.
+            self.stats.reads += 1
+            return self._banks[
+                (warp_id + registers[0]) % self._num_banks
+            ].reserve(cycle, self._occupancy, now) + self._access_latency
         banks = self._banks
         num_banks = self._num_banks
         occupancy = self._occupancy
-        latency = self._bank_latency + self._transfer_latency
+        latency = self._access_latency
         ready = cycle
         count = 0
         for register in registers:
@@ -202,28 +211,37 @@ class MainRegisterFile:
     def write(self, warp_id: int, register: int, cycle: int) -> int:
         """Write one warp-register; returns the cycle the bank settles."""
         self.stats.writes += 1
-        return self._service(self.bank_of(warp_id, register), cycle)
+        return self._banks[(warp_id + register) % self._num_banks].reserve(
+            cycle, self._occupancy, self._now
+        ) + self._access_latency
 
     def bulk_read(self, warp_id: int, registers, cycle: int) -> int:
         """Read a register group (PREFETCH); returns completion cycle.
 
-        Banks serve their shares subject to prior reservations; the
-        crossbar then streams registers out at
+        Banks serve their shares subject to prior reservations (the
+        crossbar traversal is paid once for the whole streamed group,
+        not per register); the crossbar then streams registers out at
         ``crossbar_regs_per_cycle``.  The completion cycle is when the
         last register lands in the RFC.
         """
         registers = list(registers)
         if not registers:
             return cycle
-        if cycle > self._now:
-            self._now = cycle
+        now = self._now
+        if cycle > now:
+            self._now = now = cycle
+        banks = self._banks
+        num_banks = self._num_banks
+        occupancy = self._occupancy
+        bank_latency = self._bank_latency
         last_bank_done = cycle
         for register in registers:
-            self.stats.reads += 1
-            done = self._service(
-                self.bank_of(warp_id, register), cycle, include_transfer=False
-            )
-            last_bank_done = max(last_bank_done, done)
+            done = banks[(warp_id + register) % num_banks].reserve(
+                cycle, occupancy, now
+            ) + bank_latency
+            if done > last_bank_done:
+                last_bank_done = done
+        self.stats.reads += len(registers)
         transfer = self._transfer_latency + -(
             -len(registers) // self._crossbar_regs
         )
@@ -232,9 +250,21 @@ class MainRegisterFile:
     def bulk_write(self, warp_id: int, registers, cycle: int) -> int:
         """Write a register group (write-back); returns completion cycle."""
         registers = list(registers)
-        if registers and cycle > self._now:
+        if not registers:
+            return cycle
+        if cycle > self._now:
             self._now = cycle
+        now = self._now
+        banks = self._banks
+        num_banks = self._num_banks
+        occupancy = self._occupancy
+        latency = self._access_latency
         done = cycle
         for register in registers:
-            done = max(done, self.write(warp_id, register, cycle))
+            settled = banks[(warp_id + register) % num_banks].reserve(
+                cycle, occupancy, now
+            ) + latency
+            if settled > done:
+                done = settled
+        self.stats.writes += len(registers)
         return done

@@ -99,6 +99,47 @@ class RegisterFileCache:
         wcb.valid.discard(register)
         wcb.dirty.discard(register)
 
+    # -- bulk contents (the PREFETCH/activation hot path) -----------------
+    #
+    # PREFETCH execution touches a whole working set at a time; the
+    # per-register wrappers above cost one partition lookup and several
+    # method calls each, which dominates the prefetch path at scale.
+    # These bulk variants resolve the partition once and batch the set
+    # updates; they are observationally identical to looping the
+    # per-register forms.
+
+    def allocate_missing(self, wcb: WarpControlBlock, registers) -> None:
+        """Assign slots to every register not already in the partition."""
+        table = wcb.address_table
+        missing = [
+            register for register in registers if register not in table
+        ]
+        if not missing:
+            return
+        partition = self._partition(wcb)
+        for register in missing:
+            table[register] = partition.allocate()
+
+    def evict_registers(self, wcb: WarpControlBlock, registers) -> None:
+        """Remove a register group from the partition, freeing slots."""
+        if not registers:
+            return
+        table = wcb.address_table
+        partition = self._partition(wcb)
+        for register in registers:
+            partition.release(table.pop(register))
+        wcb.valid.difference_update(registers)
+        wcb.dirty.difference_update(registers)
+
+    def fill_registers(self, wcb: WarpControlBlock, registers) -> None:
+        """Install clean copies fetched from the MRF (bulk transfer)."""
+        count = len(registers)
+        if not count:
+            return
+        self.stats.fills += count
+        wcb.valid.update(registers)
+        wcb.dirty.difference_update(registers)
+
     # -- timed accesses -----------------------------------------------------------
 
     def read(self, wcb: WarpControlBlock, register: int, cycle: int) -> int:

@@ -52,6 +52,7 @@ from repro.arch.main_register_file import MainRegisterFile
 from repro.arch.memory import MemoryHierarchy
 from repro.arch.rf_cache import RegisterFileCache
 from repro.arch.warp import Warp, WarpState
+from repro.compiler.cache import cached_trace_list
 from repro.ir.instruction import Opcode
 from repro.ir.kernel import Kernel
 
@@ -169,22 +170,30 @@ class StreamingMultiprocessor:
     # -- top level ----------------------------------------------------------
 
     def run(self, kernel: Kernel, seed: int = 0,
-            resident_warps: Optional[int] = None) -> SimulationResult:
+            resident_warps: Optional[int] = None,
+            executable: Optional[Kernel] = None) -> SimulationResult:
         """Simulate ``kernel`` to completion and return the result.
 
         ``resident_warps`` defaults to what the register file capacity
         admits for this kernel's register demand (the TLP model).
         Policies that require compiled kernels receive the kernel via
         their factory; the SM only sees the executable trace.
+
+        ``executable`` lets a caller that already holds the policy's
+        prepared form of ``kernel`` (e.g. :class:`repro.arch.gpu.GPU`,
+        which shares one compiled artifact across all its SMs) skip the
+        per-run preparation; it must be exactly what
+        ``policy.executable_kernel(kernel)`` would return.
         """
-        executable = self.policy.executable_kernel(kernel)
+        if executable is None:
+            executable = self.policy.executable_kernel(kernel)
         if resident_warps is None:
             resident_warps = self.config.resident_warps_for(
                 kernel.register_count
             )
         self.policy.prepare(resident_warps)
         warps = [
-            Warp(w, executable.trace_list(warp_id=w, seed=seed))
+            Warp(w, cached_trace_list(executable, w, seed))
             for w in range(resident_warps)
         ]
         started = time.perf_counter()
@@ -243,6 +252,7 @@ class StreamingMultiprocessor:
         """
         queue = self.events
         heap = queue._heap
+        counts = queue.counts
         policy = self.policy
         active_slots = self.config.active_warps
         issue_width = self.config.issue_width
@@ -251,8 +261,13 @@ class StreamingMultiprocessor:
         # The issue path below is the manually inlined equivalent of
         # :meth:`_issue` (which the dense reference engine still calls):
         # at a few million issues per simulation, the method dispatch
-        # and repeated ``self`` lookups are measurable.  The engine
-        # equivalence suite pins the two code paths to each other.
+        # and repeated ``self`` lookups are measurable.  Event pushes
+        # are likewise inlined as raw heappush calls against a local
+        # sequence counter and per-kind tallies (folded back into the
+        # queue's counters on exit), and the per-warp hazard probe in
+        # the requeue loop is the open-coded body of
+        # :meth:`Warp.dependencies_ready_at`.  The engine equivalence
+        # suite pins all of these code paths to each other.
         memory_response = EventKind.MEMORY_RESPONSE
         prefetch_arrival = EventKind.PREFETCH_ARRIVAL
         scoreboard_release = EventKind.SCOREBOARD_RELEASE
@@ -260,7 +275,6 @@ class StreamingMultiprocessor:
         state_inactive = WarpState.INACTIVE
         state_finished = WarpState.FINISHED
         opcode_prefetch = Opcode.PREFETCH
-        events_push = queue.push
         policy_activate = policy.activate
         policy_prefetch = policy.prefetch
         policy_operand = policy.operand_read_latency
@@ -269,6 +283,9 @@ class StreamingMultiprocessor:
         policy_finish = policy.finish
         memory_access = self.memory.access
 
+        seq = queue._seq
+        pushed_memory = pushed_prefetch = pushed_scoreboard = 0
+        pushed_drain = 0
         active_count = 0
         #: warp_id -> warp, for warps issuable at the current cycle.
         pool: Dict[int, Warp] = {}
@@ -280,149 +297,218 @@ class StreamingMultiprocessor:
         rr_next = 0
         skipped = 0
 
-        while True:
-            # 1. Drain due completions from the wake-up heap.
-            while heap and heap[0][0] <= cycle:
-                _, _, kind, payload = heappop(heap)
-                if payload is None:
-                    continue             # instrumentation-only (WCB drain)
-                if kind == memory_response:
-                    heappush(
-                        resumable,
-                        (payload.resume_at, payload.warp_id, payload),
-                    )
-                else:
-                    pool[payload.warp_id] = payload
+        try:
+            while True:
+                # 1. Drain due completions from the wake-up heap.
+                while heap and heap[0][0] <= cycle:
+                    _, _, kind, payload = heappop(heap)
+                    if payload is None:
+                        continue         # instrumentation-only (WCB drain)
+                    if kind == memory_response:
+                        heappush(
+                            resumable,
+                            (payload.resume_at, payload.warp_id, payload),
+                        )
+                    else:
+                        pool[payload.warp_id] = payload
 
-            # 2. Fill free active slots, earliest-resolved warp first.
-            while resumable and active_count < active_slots:
-                _, _, warp = heappop(resumable)
-                latency = policy_activate(warp, cycle)
-                warp.state = WarpState.ACTIVE
-                next_ready = warp.next_ready = cycle + latency
-                active_count += 1
-                self.activations += 1
-                deps = warp.dependencies_ready_at()
-                if next_ready >= deps:
-                    if next_ready <= cycle:
+                # 2. Fill free active slots, earliest-resolved warp first.
+                while resumable and active_count < active_slots:
+                    _, _, warp = heappop(resumable)
+                    latency = policy_activate(warp, cycle)
+                    warp.state = WarpState.ACTIVE
+                    next_ready = warp.next_ready = cycle + latency
+                    active_count += 1
+                    self.activations += 1
+                    deps = warp.dependencies_ready_at()
+                    if next_ready >= deps:
+                        if next_ready <= cycle:
+                            pool[warp.warp_id] = warp
+                        else:
+                            heappush(heap, (next_ready, seq,
+                                            prefetch_arrival, warp))
+                            seq += 1
+                            pushed_prefetch += 1
+                    elif deps <= cycle:
                         pool[warp.warp_id] = warp
                     else:
-                        events_push(next_ready, prefetch_arrival, warp)
-                elif deps <= cycle:
-                    pool[warp.warp_id] = warp
-                else:
-                    events_push(deps, scoreboard_release, warp)
+                        heappush(heap, (deps, seq, scoreboard_release, warp))
+                        seq += 1
+                        pushed_scoreboard += 1
 
-            if pool:
-                # 3a. Up to issue_width schedulers each issue from a
-                # distinct warp this cycle, round-robin for fairness.
-                for _ in range(min(issue_width, len(pool))):
-                    if not pool:
-                        break
-                    warp = self._round_robin_pool(pool, rr_next)
-                    warp_id = warp.warp_id
-                    rr_next = warp_id + 1
-                    del pool[warp_id]
+                if pool:
+                    # 3a. Up to issue_width schedulers each issue from a
+                    # distinct warp this cycle, round-robin for fairness.
+                    issues_left = issue_width
+                    while pool:
+                        if len(pool) == 1:
+                            # One candidate: round-robin is a no-op.
+                            warp_id, warp = pool.popitem()
+                            rr_next = warp_id + 1
+                        else:
+                            # Open-coded _round_robin_pool (the pool is
+                            # at most the active-warp count, so a plain
+                            # scan beats anything clever).
+                            best = wrap = None
+                            for candidate in pool:
+                                if candidate >= rr_next:
+                                    if best is None or candidate < best:
+                                        best = candidate
+                                elif wrap is None or candidate < wrap:
+                                    wrap = candidate
+                            warp_id = best if best is not None else wrap
+                            warp = pool.pop(warp_id)
+                            rr_next = warp_id + 1
 
-                    entry = warp.trace[warp.position]
-                    instruction = entry.instruction
+                        entry = warp.trace[warp.position]
+                        instruction = entry.instruction
 
-                    if instruction.opcode is opcode_prefetch:
-                        warp.next_ready = policy_prefetch(
+                        if instruction.opcode is opcode_prefetch:
+                            warp.next_ready = policy_prefetch(
+                                warp, instruction, cycle
+                            )
+                            warp.prefetches_issued += 1
+                            warp.position += 1
+                            if warp.position >= warp.trace_len:
+                                drain = policy_finish(warp, cycle)
+                                if drain is not None:
+                                    heappush(heap, (drain, seq,
+                                                    wcb_drain, None))
+                                    seq += 1
+                                    pushed_drain += 1
+                                warp.state = state_finished
+                                active_count -= 1
+                                remaining -= 1
+                            else:
+                                requeue.append(warp)
+                            issues_left -= 1
+                            if not issues_left:
+                                break
+                            continue
+
+                        operand_latency = policy_operand(
                             warp, instruction, cycle
                         )
-                        warp.prefetches_issued += 1
+                        # Fixed operand-collection stages absorb the
+                        # baseline read latency; only the excess extends
+                        # the dependency chain.
+                        excess = operand_latency - operand_depth
+                        start = cycle + excess if excess > 0 else cycle
+                        deactivate = False
+
+                        dsts = instruction.dsts
+                        if instruction.is_long_latency:
+                            access = memory_access(entry.address, start)
+                            complete = access.ready_cycle
+                            # Loads that miss the L1 deactivate the warp
+                            # (two-level scheduler); stores are
+                            # fire-and-forget.
+                            if dsts and access.level != "l1":
+                                deactivate = True
+                        else:
+                            # Fixed-latency ops, incl. shared-memory LD/ST
+                            # (scratchpad: outside the L1/LLC hierarchy,
+                            # never deactivates -- see _issue).
+                            complete = start + instruction.execution_latency
+                        if dsts:
+                            scoreboard = warp.scoreboard
+                            for dst in dsts:
+                                scoreboard[dst] = complete
+                            # Destination-less ops (stores, branches,
+                            # EXIT) write nothing anywhere; every
+                            # policy's result_write is a no-op for
+                            # them, so skip the call entirely.
+                            policy_result(warp, instruction, complete,
+                                          deactivate)
+                        warp.instructions_issued += 1
                         warp.position += 1
+
                         if warp.position >= warp.trace_len:
                             drain = policy_finish(warp, cycle)
                             if drain is not None:
-                                events_push(drain, wcb_drain)
+                                heappush(heap, (drain, seq, wcb_drain, None))
+                                seq += 1
+                                pushed_drain += 1
                             warp.state = state_finished
                             active_count -= 1
                             remaining -= 1
+                        elif deactivate:
+                            drain = policy_deactivate(warp, cycle)
+                            if drain is not None:
+                                heappush(heap, (drain, seq, wcb_drain, None))
+                                seq += 1
+                                pushed_drain += 1
+                            warp.state = state_inactive
+                            warp.resume_at = complete
+                            active_count -= 1
+                            self.deactivations += 1
+                            heappush(heap, (complete, seq,
+                                            memory_response, warp))
+                            seq += 1
+                            pushed_memory += 1
                         else:
+                            warp.next_ready = cycle + 1
                             requeue.append(warp)
-                        continue
-
-                    operand_latency = policy_operand(warp, instruction, cycle)
-                    # Fixed operand-collection stages absorb the
-                    # baseline read latency; only the excess extends
-                    # the dependency chain.
-                    excess = operand_latency - operand_depth
-                    start = cycle + excess if excess > 0 else cycle
-                    deactivate = False
-
-                    if instruction.is_long_latency:
-                        access = memory_access(entry.address, start)
-                        complete = access.ready_cycle
-                        # Loads that miss the L1 deactivate the warp
-                        # (two-level scheduler); stores are
-                        # fire-and-forget.
-                        if instruction.dsts and access.level != "l1":
-                            deactivate = True
-                    else:
-                        # Fixed-latency ops, incl. shared-memory LD/ST
-                        # (scratchpad: outside the L1/LLC hierarchy,
-                        # never deactivates -- see _issue).
-                        complete = start + instruction.execution_latency
-                    scoreboard = warp.scoreboard
-                    for dst in instruction.dsts:
-                        scoreboard[dst] = complete
-                    policy_result(warp, instruction, complete,
-                                  to_mrf=deactivate)
-                    warp.instructions_issued += 1
-                    warp.position += 1
-
-                    if warp.position >= warp.trace_len:
-                        drain = policy_finish(warp, cycle)
-                        if drain is not None:
-                            events_push(drain, wcb_drain)
-                        warp.state = state_finished
-                        active_count -= 1
-                        remaining -= 1
-                    elif deactivate:
-                        drain = policy_deactivate(warp, cycle)
-                        if drain is not None:
-                            events_push(drain, wcb_drain)
-                        warp.state = state_inactive
-                        warp.resume_at = complete
-                        active_count -= 1
-                        self.deactivations += 1
-                        events_push(complete, memory_response, warp)
-                    else:
-                        warp.next_ready = cycle + 1
-                        requeue.append(warp)
-                cycle += 1
-                if requeue:
-                    for warp in requeue:
-                        deps = warp.dependencies_ready_at()
-                        next_ready = warp.next_ready
-                        if next_ready >= deps:
-                            if next_ready <= cycle:
+                        issues_left -= 1
+                        if not issues_left:
+                            break
+                    cycle += 1
+                    if requeue:
+                        for warp in requeue:
+                            # Open-coded Warp.dependencies_ready_at
+                            # (the warp is mid-trace by construction).
+                            scoreboard = warp.scoreboard
+                            deps = 0
+                            if scoreboard:
+                                get = scoreboard.get
+                                for reg in warp.trace[
+                                    warp.position
+                                ].instruction.hazard_registers:
+                                    pending = get(reg, 0)
+                                    if pending > deps:
+                                        deps = pending
+                            next_ready = warp.next_ready
+                            if next_ready >= deps:
+                                if next_ready <= cycle:
+                                    pool[warp.warp_id] = warp
+                                else:
+                                    heappush(heap, (next_ready, seq,
+                                                    prefetch_arrival, warp))
+                                    seq += 1
+                                    pushed_prefetch += 1
+                            elif deps <= cycle:
                                 pool[warp.warp_id] = warp
                             else:
-                                events_push(next_ready, prefetch_arrival, warp)
-                        elif deps <= cycle:
-                            pool[warp.warp_id] = warp
-                        else:
-                            events_push(deps, scoreboard_release, warp)
-                    requeue.clear()
-            else:
-                # 3b. Nothing issuable: jump to the next pending event.
-                if remaining == 0:
-                    break
-                if not heap:
-                    raise RuntimeError(
-                        "event engine stalled: unfinished warps but no "
-                        "pending events"
-                    )
-                next_cycle = heap[0][0]
-                if next_cycle <= cycle:
-                    next_cycle = cycle + 1
-                skipped += next_cycle - cycle - 1
-                cycle = next_cycle
-            if cycle > MAX_CYCLES:
-                raise RuntimeError("simulation exceeded MAX_CYCLES")
+                                heappush(heap, (deps, seq,
+                                                scoreboard_release, warp))
+                                seq += 1
+                                pushed_scoreboard += 1
+                        requeue.clear()
+                else:
+                    # 3b. Nothing issuable: jump to the next pending event.
+                    if remaining == 0:
+                        break
+                    if not heap:
+                        raise RuntimeError(
+                            "event engine stalled: unfinished warps but no "
+                            "pending events"
+                        )
+                    next_cycle = heap[0][0]
+                    if next_cycle <= cycle:
+                        next_cycle = cycle + 1
+                    skipped += next_cycle - cycle - 1
+                    cycle = next_cycle
+                if cycle > MAX_CYCLES:
+                    raise RuntimeError("simulation exceeded MAX_CYCLES")
+        finally:
+            # Fold the locally batched push accounting back into the
+            # queue so telemetry (event_counts) and any later pushes
+            # observe the same state as unbatched pushes would have.
+            queue._seq = seq
+            counts[memory_response] += pushed_memory
+            counts[prefetch_arrival] += pushed_prefetch
+            counts[scoreboard_release] += pushed_scoreboard
+            counts[wcb_drain] += pushed_drain
         self.cycles_skipped = skipped
         return cycle
 

@@ -85,13 +85,8 @@ class Warp:
         scoreboard = self.scoreboard
         ready = 0
         if scoreboard:
-            instruction = self.trace[self.position].instruction
             get = scoreboard.get
-            for reg in instruction.srcs:
-                pending = get(reg, 0)
-                if pending > ready:
-                    ready = pending
-            for reg in instruction.dsts:
+            for reg in self.trace[self.position].instruction.hazard_registers:
                 pending = get(reg, 0)
                 if pending > ready:
                     ready = pending

@@ -10,6 +10,12 @@ from repro.compiler.analysis import (
     real_region_lengths,
     region_length_comparison,
 )
+from repro.compiler.cache import (
+    cached_trace_list,
+    clear_static_cache,
+    compiled_kernel_for,
+    liveness_kernel_for,
+)
 from repro.compiler.intervals import (
     derived_edges,
     interval_partition,
@@ -40,13 +46,17 @@ __all__ = [
     "Region",
     "RegionError",
     "RegionPartition",
+    "cached_trace_list",
+    "clear_static_cache",
     "compile_kernel",
+    "compiled_kernel_for",
     "derived_edges",
     "form_register_intervals",
     "form_strands",
     "insert_prefetches",
     "interval_partition",
     "is_reducible_by_intervals",
+    "liveness_kernel_for",
     "optimal_region_lengths",
     "real_region_lengths",
     "region_length_comparison",

@@ -34,14 +34,15 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.arch.config import GPUConfig
 from repro.arch.sm import StreamingMultiprocessor
-from repro.ir import kernel_fingerprint
+from repro.compiler.cache import STATS as COMPILE_STATS
 from repro.policies import policy_by_name
 from repro.util import atomic_write_text
 from repro.workloads import (
     UnknownWorkloadError,
-    get_kernel,
+    resolve_workload,
     workload_fingerprint,
 )
+from repro.workloads.registry import BUILD_STATS
 
 
 def default_cache_dir() -> str:
@@ -133,18 +134,35 @@ class SimTelemetry:
     #: execution, and the runner uses this to store the record under
     #: the content that produced it (see Runner._content_key).
     kernel_fingerprint: str = ""
+    # Static-work accounting for this run (deltas of the process-wide
+    # kernel-build and compile-cache counters): how much host time went
+    # into building/compiling rather than simulating, and whether the
+    # compiled artifact came from the static-artifact cache.
+    kernel_builds: int = 0
+    kernel_build_seconds: float = 0.0
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
+    compile_seconds: float = 0.0
 
 
 def execute_request_with_telemetry(request: SimRequest):
-    """Run one simulation, bypassing every cache.
+    """Run one simulation, bypassing the runner's result caches.
 
     Returns ``(record, telemetry)``.  Module-level (rather than a
     ``Runner`` method) so pool workers can unpickle it; the simulator
     is deterministic in ``(request,)``, which is what makes parallel
     and serial execution interchangeable (the record, not the
     telemetry, is the deterministic part).
+
+    Static work (kernel build, policy compile) flows through the
+    process-wide static-artifact caches; the telemetry reports this
+    run's share of it as counter deltas.
     """
-    kernel = get_kernel(request.workload)
+    builds_before, build_seconds_before = BUILD_STATS.snapshot()
+    hits_before, misses_before, compile_seconds_before = (
+        COMPILE_STATS.snapshot()
+    )
+    kernel, fingerprint = resolve_workload(request.workload)
     sm = StreamingMultiprocessor(
         request.config, policy_by_name(request.policy)
     )
@@ -169,6 +187,10 @@ def execute_request_with_telemetry(request: SimRequest):
         rfc_writebacks=result.rfc_writebacks,
         l1_hit_rate=result.l1_hit_rate,
     )
+    builds_after, build_seconds_after = BUILD_STATS.snapshot()
+    hits_after, misses_after, compile_seconds_after = (
+        COMPILE_STATS.snapshot()
+    )
     telemetry = SimTelemetry(
         engine=result.engine,
         host_seconds=result.host_seconds,
@@ -176,13 +198,55 @@ def execute_request_with_telemetry(request: SimRequest):
         instructions=result.instructions,
         cycles_skipped=result.cycles_skipped,
         event_counts=result.event_counts,
-        kernel_fingerprint=kernel_fingerprint(kernel),
+        kernel_fingerprint=fingerprint,
+        kernel_builds=builds_after - builds_before,
+        kernel_build_seconds=build_seconds_after - build_seconds_before,
+        compile_cache_hits=hits_after - hits_before,
+        compile_cache_misses=misses_after - misses_before,
+        compile_seconds=compile_seconds_after - compile_seconds_before,
     )
     return record, telemetry
 
 
+def execute_batch(requests: List[SimRequest]):
+    """Run a batch of requests in-process; one pool task.
+
+    The batch engine groups requests by workload before dispatch so
+    that each worker process resolves and compiles each distinct
+    kernel once (the static-artifact caches are per process); shipping
+    a grouped batch per task also amortises the executor's per-task
+    pickling round-trip.
+    """
+    return [execute_request_with_telemetry(request) for request in requests]
+
+
+def _dispatch_chunks(items: List[tuple], workers: int) -> List[List[tuple]]:
+    """Split pending ``(key, request)`` pairs into pool tasks.
+
+    Items are grouped by workload so one worker handles one kernel's
+    grid points back to back -- it resolves and compiles the kernel
+    once and every subsequent point in the chunk hits the process-wide
+    static caches (zero-rebuild dispatch).  Groups are sliced into
+    several chunks per worker so a slow workload cannot serialise the
+    pool behind one long task.  The merge is keyed, so chunk shapes
+    never affect results -- only how much static work is repeated.
+    """
+    by_workload: Dict[str, List[tuple]] = {}
+    for item in items:
+        by_workload.setdefault(item[1].workload, []).append(item)
+    chunk_size = max(1, -(-len(items) // (workers * 4)))
+    chunks = []
+    for group in by_workload.values():
+        for start in range(0, len(group), chunk_size):
+            chunks.append(group[start:start + chunk_size])
+    return chunks
+
+
 def execute_request(request: SimRequest) -> RunRecord:
-    """Run one simulation, bypassing every cache (record only)."""
+    """Run one simulation, bypassing the runner's result caches
+    (record only).  Static work still flows through the process-wide
+    static-artifact caches; set ``LTRF_COMPILE_CACHE=0`` to measure
+    truly uncached runs."""
     return execute_request_with_telemetry(request)[0]
 
 
@@ -202,6 +266,15 @@ class RunnerStats:
     simulated_instructions: int = 0
     cycles_skipped: int = 0
     event_counts: Dict[str, int] = field(default_factory=dict)
+    # Aggregated static-work telemetry (kernel builds + policy
+    # compiles), so sweeps can see how much of their wall-clock is
+    # amortisable front-end work and whether the compile cache earns
+    # its keep.
+    kernel_builds: int = 0
+    kernel_build_seconds: float = 0.0
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
+    compile_seconds: float = 0.0
 
     @property
     def hits(self) -> int:
@@ -219,6 +292,11 @@ class RunnerStats:
         self.simulated_cycles += telemetry.cycles
         self.simulated_instructions += telemetry.instructions
         self.cycles_skipped += telemetry.cycles_skipped
+        self.kernel_builds += telemetry.kernel_builds
+        self.kernel_build_seconds += telemetry.kernel_build_seconds
+        self.compile_cache_hits += telemetry.compile_cache_hits
+        self.compile_cache_misses += telemetry.compile_cache_misses
+        self.compile_seconds += telemetry.compile_seconds
         for kind, count in telemetry.event_counts.items():
             self.event_counts[kind] = self.event_counts.get(kind, 0) + count
 
@@ -335,11 +413,26 @@ class Runner:
 
     # -- simulation ---------------------------------------------------------
 
+    def _note_front_end_builds(self, before) -> None:
+        """Attribute kernel builds done while computing cache keys.
+
+        Key computation fingerprints (and therefore may build) each
+        workload in *this* process before any simulation runs; the
+        per-request telemetry only sees builds inside the executing
+        process, so without this the serial path would report the
+        static front-end as free.
+        """
+        builds, seconds = BUILD_STATS.snapshot()
+        self.stats.kernel_builds += builds - before[0]
+        self.stats.kernel_build_seconds += seconds - before[1]
+
     def simulate(self, workload: str, policy: str, config: GPUConfig,
                  seed: int = 0) -> RunRecord:
         """Run (or fetch from cache) one simulation."""
         request = SimRequest(workload, policy, config, seed)
+        before = BUILD_STATS.snapshot()
         key = self.request_key(request)
+        self._note_front_end_builds(before)
         cached = self._load(key)
         if cached is not None:
             return cached
@@ -360,7 +453,9 @@ class Runner:
         of completion order, so results are identical for any ``jobs``.
         """
         requests = list(requests)
+        before = BUILD_STATS.snapshot()
         keys = [self.request_key(request) for request in requests]
+        self._note_front_end_builds(before)
         self.stats.batch_requests += len(requests)
 
         results: Dict[str, RunRecord] = {}
@@ -380,21 +475,22 @@ class Runner:
             items = list(pending.items())
             if jobs is not None and jobs > 1 and len(items) > 1:
                 workers = min(jobs, len(items))
+                chunks = _dispatch_chunks(items, workers)
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {
                         pool.submit(
-                            execute_request_with_telemetry, request
-                        ): key
-                        for key, request in items
+                            execute_batch,
+                            [request for _, request in chunk],
+                        ): chunk
+                        for chunk in chunks
                     }
                     for future in as_completed(futures):
-                        key = futures[future]
+                        chunk = futures[future]
                         try:
-                            record, telemetry = future.result()
+                            outcomes = future.result()
                         except UnknownWorkloadError as error:
                             raise RuntimeError(
-                                f"workload "
-                                f"{pending[key].workload!r} could not "
+                                f"workload {error.name!r} could not "
                                 "be resolved in a worker process: "
                                 "runtime registrations are "
                                 "per-process.  Export it to a "
@@ -402,11 +498,15 @@ class Runner:
                                 "suite or built-in families, or run "
                                 "with jobs=1."
                             ) from error
-                        self.stats.simulated += 1
-                        self.stats.note_telemetry(telemetry)
-                        self._store(self._content_key(key, telemetry),
-                                    record)
-                        results[key] = record
+                        for (key, _), (record, telemetry) in zip(
+                            chunk, outcomes
+                        ):
+                            self.stats.simulated += 1
+                            self.stats.note_telemetry(telemetry)
+                            self._store(
+                                self._content_key(key, telemetry), record
+                            )
+                            results[key] = record
             else:
                 for key, request in items:
                     record, telemetry = execute_request_with_telemetry(
@@ -434,6 +534,11 @@ class Runner:
             "simulated_cycles_per_host_second":
                 stats.simulated_cycles_per_host_second,
             "event_counts": dict(stats.event_counts),
+            "kernel_builds": stats.kernel_builds,
+            "kernel_build_seconds": stats.kernel_build_seconds,
+            "compile_cache_hits": stats.compile_cache_hits,
+            "compile_cache_misses": stats.compile_cache_misses,
+            "compile_seconds": stats.compile_seconds,
         }
 
     def render_telemetry(self) -> str:
@@ -450,7 +555,12 @@ class Runner:
             f"{summary['simulated_cycles']} cycles "
             f"({summary['cycles_skipped']} skipped) in "
             f"{summary['host_seconds']:.2f}s host time "
-            f"= {rate:,.0f} cycles/s; events: {event_text}"
+            f"= {rate:,.0f} cycles/s; events: {event_text}; "
+            f"static work: {summary['kernel_builds']} kernel build(s) in "
+            f"{summary['kernel_build_seconds']:.2f}s, compile cache "
+            f"{summary['compile_cache_hits']} hit(s)/"
+            f"{summary['compile_cache_misses']} miss(es) in "
+            f"{summary['compile_seconds']:.2f}s"
         )
 
 

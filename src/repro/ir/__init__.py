@@ -29,6 +29,7 @@ from repro.ir.serialize import (
     SCHEMA_VERSION,
     KernelSerializationError,
     dumps_kernel,
+    fingerprint_of,
     kernel_fingerprint,
     kernel_from_dict,
     kernel_to_dict,
@@ -60,6 +61,7 @@ __all__ = [
     "decode_bitvector",
     "dumps_kernel",
     "encode_bitvector",
+    "fingerprint_of",
     "kernel_fingerprint",
     "kernel_from_dict",
     "kernel_to_dict",

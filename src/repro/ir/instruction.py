@@ -188,6 +188,18 @@ class Instruction:
     def execution_latency(self) -> int:
         return EXECUTION_LATENCY[self.opcode]
 
+    @cached_property
+    def hazard_registers(self) -> Tuple[int, ...]:
+        """Registers the scoreboard must clear before issue (RAW + WAW).
+
+        Sources then destinations, deduplicated.  The per-issue hazard
+        check is one of the simulator's hottest loops; probing one
+        interned tuple beats walking ``srcs`` and ``dsts`` separately.
+        """
+        return self.srcs + tuple(
+            dst for dst in self.dsts if dst not in self.srcs
+        )
+
     # -- register accounting --------------------------------------------
 
     def registers(self) -> frozenset:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import weakref
 from typing import Any, Dict, List
 
 from repro.ir.basic_block import BasicBlock
@@ -328,3 +329,28 @@ def kernel_fingerprint(kernel: Kernel) -> str:
     del content["schema"], content["schema_version"]
     blob = json.dumps(content, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()[:FINGERPRINT_LENGTH]
+
+
+#: Kernel object -> fingerprint, for kernels treated as immutable.
+_object_fingerprints: "weakref.WeakKeyDictionary[Kernel, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def fingerprint_of(kernel: Kernel) -> str:
+    """:func:`kernel_fingerprint`, memoised per kernel *object*.
+
+    Fingerprinting serialises the whole kernel; doing that once per
+    simulation (hundreds of times per sweep for the same few kernels)
+    is pure redundant work, because the kernels flowing through the
+    registry and the compile cache are shared, effectively immutable
+    objects (compile passes clone before mutating).  Only use this on
+    kernels with that contract -- a kernel mutated after the first call
+    would keep serving the stale hash.  The memo holds weak references,
+    so it never extends a kernel's lifetime.
+    """
+    found = _object_fingerprints.get(kernel)
+    if found is None:
+        found = kernel_fingerprint(kernel)
+        _object_fingerprints[kernel] = found
+    return found

@@ -25,7 +25,11 @@ class BaselinePolicy(RegisterPolicy):
 
     def operand_read_latency(self, warp: Warp, instruction: Instruction,
                              cycle: int) -> int:
-        return self._collect_from_mrf(warp, instruction.srcs, cycle)
+        # Direct read_group call (no _collect_from_mrf hop): this is
+        # BL's entire per-issue operand path.
+        return self.mrf.read_group(
+            warp.warp_id, instruction.srcs, cycle
+        ) - cycle
 
     def result_write(self, warp: Warp, instruction: Instruction,
                      cycle: int, to_mrf: bool = False) -> None:

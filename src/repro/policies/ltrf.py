@@ -33,7 +33,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Set
 
 from repro.arch.warp import Warp
-from repro.compiler.pipeline import compile_kernel
+from repro.compiler.cache import compiled_kernel_for
 from repro.ir.instruction import Instruction
 from repro.ir.kernel import Kernel
 from repro.policies.base import RegisterPolicy
@@ -52,14 +52,20 @@ class LTRFPolicy(RegisterPolicy):
         super().__init__(config, mrf, rfc)
         self._prefetch_registers_moved = 0
         self._prefetch_operations = 0
-        # Hot-path constants (config is frozen).
+        # Hot-path constants (config is frozen; the stats object lives
+        # as long as the policy).
         self._rfc_latency = config.rfc_latency
         self._port_penalty = config.wcb_extra_operand_penalty
+        self._rfc_stats = rfc.stats
 
     # -- kernel preparation -----------------------------------------------------
 
     def executable_kernel(self, kernel: Kernel) -> Kernel:
-        compiled = compile_kernel(
+        # The compiled artifact depends only on the kernel content and
+        # these parameters, so it is resolved through the process-wide
+        # static-artifact cache; the returned kernel is shared and must
+        # not be mutated (the SM and policies only read it).
+        compiled = compiled_kernel_for(
             kernel,
             region_kind=self.region_kind,
             max_registers=self.config.regs_per_interval,
@@ -77,8 +83,7 @@ class LTRFPolicy(RegisterPolicy):
 
         self._evict_departed(warp, working_set, cycle)
         to_fetch = self._registers_to_fetch(warp, working_set)
-        for register in working_set:
-            self.rfc.allocate_register(wcb, register)
+        self.rfc.allocate_missing(wcb, working_set)
         wcb.working_set = working_set
 
         completion = cycle + 1
@@ -86,13 +91,11 @@ class LTRFPolicy(RegisterPolicy):
             completion = self.mrf.bulk_read(
                 warp.warp_id, sorted(to_fetch), cycle
             )
-            for register in to_fetch:
-                self.rfc.fill(wcb, register)
+            self.rfc.fill_registers(wcb, to_fetch)
             self._prefetch_registers_moved += len(to_fetch)
         # Registers not fetched (already valid, or provably dead) only
         # need space; mark them usable so subsequent writes allocate.
-        for register in working_set - wcb.valid:
-            wcb.valid.add(register)
+        wcb.valid.update(working_set)
         return completion
 
     def _registers_to_fetch(self, warp: Warp, working_set: Set[int]) -> Set[int]:
@@ -107,15 +110,14 @@ class LTRFPolicy(RegisterPolicy):
     def _evict_departed(self, warp: Warp, working_set: Set[int],
                         cycle: int) -> None:
         wcb = warp.wcb
-        departed = set(wcb.address_table) - working_set
+        departed = wcb.address_table.keys() - working_set
         if not departed:
             return
         dirty = self._writeback_filter(warp, wcb.dirty & departed)
         if dirty:
             self.mrf.bulk_write(warp.warp_id, sorted(dirty), cycle)
             self.rfc.note_writeback(len(dirty))
-        for register in departed:
-            self.rfc.evict_register(wcb, register)
+        self.rfc.evict_registers(wcb, departed)
 
     # -- operand path -----------------------------------------------------------
 
@@ -127,36 +129,51 @@ class LTRFPolicy(RegisterPolicy):
         wcb = warp.wcb
         srcs = instruction.srcs
         valid = wcb.valid
-        for src in srcs:
-            if src not in valid:
-                raise RuntimeError(
-                    f"LTRF invariant violated: warp {warp.warp_id} read "
-                    f"r{src} outside its prefetched working set"
-                )
+        if srcs and not valid.issuperset(srcs):
+            missing = next(src for src in srcs if src not in valid)
+            raise RuntimeError(
+                f"LTRF invariant violated: warp {warp.warp_id} read "
+                f"r{missing} outside its prefetched working set"
+            )
         latency = 0
         if srcs:
             count = len(srcs)
-            stats = self.rfc.stats
+            stats = self._rfc_stats
             stats.read_hits += count
             stats.reads += count
             latency = self._rfc_latency
             if count > 2:
                 latency += self._port_penalty
         if instruction.dead_srcs:
-            wcb.note_dead_operands(instruction.dead_srcs)
+            wcb.live.difference_update(instruction.dead_srcs)
         return latency
 
     def result_write(self, warp: Warp, instruction: Instruction,
                      cycle: int, to_mrf: bool = False) -> None:
+        # Flattened equivalent of note_write + allocate + rfc.write per
+        # destination: the per-issue write path is hot enough that the
+        # three method hops per register were measurable.
         wcb = warp.wcb
-        for dst in instruction.dsts:
-            wcb.note_write(dst)
-            if to_mrf:
+        dsts = instruction.dsts
+        if not dsts:
+            return
+        if to_mrf:
+            live_add = wcb.live.add
+            for dst in dsts:
+                live_add(dst)
                 self.mrf.write(warp.warp_id, dst, cycle)
-                continue
-            if dst not in wcb.address_table:
+            return
+        live_add = wcb.live.add
+        valid_add = wcb.valid.add
+        dirty_add = wcb.dirty.add
+        address_table = wcb.address_table
+        for dst in dsts:
+            live_add(dst)
+            if dst not in address_table:
                 self.rfc.allocate_register(wcb, dst)
-            self.rfc.write(wcb, dst, cycle)
+            valid_add(dst)
+            dirty_add(dst)
+        self._rfc_stats.writes += len(dsts)
 
     # -- scheduler hooks -----------------------------------------------------------
 
@@ -165,15 +182,12 @@ class LTRFPolicy(RegisterPolicy):
         self.rfc.acquire_partition(wcb)
         refetch = self._writeback_filter(warp, wcb.working_set)
         refetch = self._registers_to_fetch(warp, set(refetch))
-        for register in wcb.working_set:
-            self.rfc.allocate_register(wcb, register)
-            wcb.valid.add(register)
+        self.rfc.allocate_missing(wcb, wcb.working_set)
+        wcb.valid.update(wcb.working_set)
         if not refetch:
             return 0
         completion = self.mrf.bulk_read(warp.warp_id, sorted(refetch), cycle)
-        for register in refetch:
-            self.rfc.fill(wcb, register)
-            wcb.valid.add(register)
+        self.rfc.fill_registers(wcb, refetch)
         self._prefetch_registers_moved += len(refetch)
         return completion - cycle
 

@@ -48,6 +48,11 @@ class RFCPolicy(RegisterPolicy):
         self.slice_capacity = max(1, total // config.max_resident_warps)
         #: warp_id -> (register -> dirty flag, LRU order, oldest first).
         self._slices: Dict[int, "OrderedDict[int, bool]"] = {}
+        # Hot-path constants (config is frozen; the stats objects live
+        # as long as the policy): the per-operand attribute chains were
+        # measurable in the operand-collection profile.
+        self._rfc_latency = config.rfc_latency
+        self._rfc_stats = rfc.stats
 
     def _slice(self, warp_id: int) -> "OrderedDict[int, bool]":
         if warp_id not in self._slices:
@@ -58,45 +63,64 @@ class RFCPolicy(RegisterPolicy):
 
     def operand_read_latency(self, warp: Warp, instruction: Instruction,
                              cycle: int) -> int:
-        entries = self._slice(warp.warp_id)
+        entries = self._slices.get(warp.warp_id)
+        if entries is None:
+            entries = self._slice(warp.warp_id)
+        stats = self._rfc_stats
+        move_to_end = entries.move_to_end
+        hit_ready = cycle + self._rfc_latency
         ready = cycle
+        hits = 0
         for src in instruction.srcs:
             if src in entries:
-                self.rfc.stats.read_hits += 1
-                self.rfc.stats.reads += 1
-                entries.move_to_end(src)
-                ready = max(ready, cycle + self.config.rfc_latency)
+                hits += 1
+                move_to_end(src)
+                if hit_ready > ready:
+                    ready = hit_ready
             else:
                 # Miss: read the MRF; do not allocate (read-no-allocate).
-                self.rfc.stats.read_misses += 1
-                ready = max(ready, self.mrf.read(warp.warp_id, src, cycle))
+                stats.read_misses += 1
+                done = self.mrf.read(warp.warp_id, src, cycle)
+                if done > ready:
+                    ready = done
+        if hits:
+            stats.read_hits += hits
+            stats.reads += hits
         return ready - cycle
 
     def result_write(self, warp: Warp, instruction: Instruction,
                      cycle: int, to_mrf: bool = False) -> None:
-        for dst in instruction.dsts:
-            if to_mrf:
-                # The warp is being deactivated: the in-flight result
-                # lands in the MRF, where inactive warps keep live state.
-                self.mrf.write(warp.warp_id, dst, cycle)
-                continue
-            self.rfc.stats.writes += 1
-            self._install(warp.warp_id, dst, cycle)
-
-    # -- cache management --------------------------------------------------------
-
-    def _install(self, warp_id: int, register: int, cycle: int) -> None:
-        entries = self._slice(warp_id)
-        if register in entries:
-            entries[register] = True
-            entries.move_to_end(register)
+        dsts = instruction.dsts
+        if not dsts:
             return
-        if len(entries) >= self.slice_capacity:
-            victim, victim_dirty = entries.popitem(last=False)
-            if victim_dirty:
-                self.mrf.write(warp_id, victim, cycle)
-                self.rfc.note_writeback()
-        entries[register] = True
+        warp_id = warp.warp_id
+        if to_mrf:
+            # The warp is being deactivated: the in-flight result
+            # lands in the MRF, where inactive warps keep live state.
+            for dst in dsts:
+                self.mrf.write(warp_id, dst, cycle)
+            return
+        # Inlined install-with-LRU-eviction (the per-issue write path):
+        # mark (or re-mark) the produced value dirty and most recently
+        # used; a full slice evicts its LRU entry, writing it back to
+        # the MRF if dirty.
+        stats = self._rfc_stats
+        stats.writes += len(dsts)
+        entries = self._slices.get(warp_id)
+        if entries is None:
+            entries = self._slice(warp_id)
+        capacity = self.slice_capacity
+        for dst in dsts:
+            if dst in entries:
+                entries[dst] = True
+                entries.move_to_end(dst)
+                continue
+            if len(entries) >= capacity:
+                victim, victim_dirty = entries.popitem(last=False)
+                if victim_dirty:
+                    self.mrf.write(warp_id, victim, cycle)
+                    stats.writebacks += 1
+            entries[dst] = True
 
     # -- scheduler hooks ------------------------------------------------------------
 

@@ -28,9 +28,9 @@ energy than the hardware cache.
 from __future__ import annotations
 
 from repro.arch.warp import Warp
+from repro.compiler.cache import liveness_kernel_for
 from repro.ir.instruction import Instruction
 from repro.ir.kernel import Kernel
-from repro.ir.liveness import annotate_dead_operands
 from repro.policies.rfc import RFCPolicy
 
 
@@ -49,10 +49,12 @@ class SHRFPolicy(RFCPolicy):
         )
 
     def executable_kernel(self, kernel: Kernel) -> Kernel:
-        """SHRF needs the dead-operand bits of static liveness."""
-        clone = kernel.clone()
-        annotate_dead_operands(clone)
-        return clone
+        """SHRF needs the dead-operand bits of static liveness.
+
+        The annotated clone depends only on the kernel content, so it
+        comes from the static-artifact cache (shared; never mutated).
+        """
+        return liveness_kernel_for(kernel)
 
     def operand_read_latency(self, warp: Warp, instruction: Instruction,
                              cycle: int) -> int:

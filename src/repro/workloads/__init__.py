@@ -39,6 +39,16 @@ def workload_fingerprint(name: str) -> str:
     return default_registry().fingerprint(name)
 
 
+def resolve_workload(name: str):
+    """``(kernel, fingerprint)`` for any resolvable workload name.
+
+    The fingerprint is computed from the returned kernel object itself
+    (see :meth:`~repro.workloads.registry.WorkloadRegistry.resolve`),
+    so callers that need both never hash twice nor race a file rewrite.
+    """
+    return default_registry().resolve(name)
+
+
 __all__ = [
     "BUILTIN_FAMILIES",
     "EVALUATION",
@@ -56,6 +66,7 @@ __all__ = [
     "evaluation_kernels",
     "get_kernel",
     "get_spec",
+    "resolve_workload",
     "suite_kernels",
     "workload_category",
     "workload_fingerprint",

@@ -33,10 +33,12 @@ from __future__ import annotations
 
 import difflib
 import os
+import time
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.ir.kernel import Kernel
-from repro.ir.serialize import kernel_fingerprint, load_kernel
+from repro.ir.serialize import fingerprint_of, load_kernel
 from repro.workloads.generator import WorkloadSpec, build_kernel
 
 #: Canonical extension for serialised kernels (what ``export-kernel``
@@ -53,6 +55,27 @@ _FILE_NAME_SUFFIX = ".json"
 def is_kernel_file_name(name: str) -> bool:
     """True when ``name`` routes to the kernel-file loader."""
     return name.endswith(_FILE_NAME_SUFFIX)
+
+
+@dataclass
+class KernelBuildStats:
+    """Process-wide kernel-materialisation counters.
+
+    Fed by every registry's :meth:`WorkloadRegistry.get_kernel` miss
+    (generator runs, file loads) and surfaced through the runner's
+    telemetry, so sweeps can report how much wall-clock went into
+    building kernels versus simulating them.
+    """
+
+    kernel_builds: int = 0
+    kernel_build_seconds: float = 0.0
+
+    def snapshot(self) -> Tuple[int, float]:
+        return (self.kernel_builds, self.kernel_build_seconds)
+
+
+#: Shared across registries: the counters describe the process.
+BUILD_STATS = KernelBuildStats()
 
 
 class UnknownWorkloadError(ValueError):
@@ -276,6 +299,14 @@ class WorkloadRegistry:
             self._fingerprints.pop(name, None)
             del self._file_sources[name]
 
+    @staticmethod
+    def _timed_build(provider: KernelProvider) -> Kernel:
+        BUILD_STATS.kernel_builds += 1
+        started = time.perf_counter()
+        kernel = provider.build()
+        BUILD_STATS.kernel_build_seconds += time.perf_counter() - started
+        return kernel
+
     def get_kernel(self, name: str) -> Kernel:
         """Build (and memoise) the kernel behind ``name``.
 
@@ -289,7 +320,7 @@ class WorkloadRegistry:
                 # Capture the stat signature *before* reading: if the
                 # file is replaced mid-read we re-validate next lookup.
                 signature = self._file_signature(provider.path)
-                kernel = provider.build()
+                kernel = self._timed_build(provider)
                 if signature is None:
                     # Pre-read stat raced with the file's creation;
                     # the read succeeded, so a re-stat normally works.
@@ -301,21 +332,36 @@ class WorkloadRegistry:
                 self._kernels[name] = kernel
                 self._file_sources[name] = (provider.path, signature)
             else:
-                self._kernels[name] = provider.build()
+                self._kernels[name] = self._timed_build(provider)
         return self._kernels[name]
+
+    def resolve(self, name: str) -> Tuple[Kernel, str]:
+        """``(kernel, fingerprint)`` for ``name``, computed coherently.
+
+        The fingerprint is derived from the *same kernel object* that
+        is returned -- unlike calling :meth:`get_kernel` and
+        :meth:`fingerprint` separately, where a file rewrite between
+        the two calls could pair a kernel with another content's hash.
+        Both halves are memoised, so after the first resolution this
+        costs two dictionary lookups.  (File-change invalidation is
+        delegated to :meth:`get_kernel`, which also clears the
+        fingerprint memo read below.)
+        """
+        kernel = self.get_kernel(name)
+        fingerprint = self._fingerprints.get(name)
+        if fingerprint is None:
+            fingerprint = fingerprint_of(kernel)
+            if self._kernels.get(name) is kernel:
+                # Mirror get_kernel's guard: when it declined to
+                # memoise (unstattable file, no way to detect a
+                # rewrite), a cached fingerprint would outlive the
+                # content it hashes.
+                self._fingerprints[name] = fingerprint
+        return kernel, fingerprint
 
     def fingerprint(self, name: str) -> str:
         """Content fingerprint of the kernel behind ``name`` (memoised)."""
-        self._invalidate_if_file_changed(name)
-        if name in self._fingerprints:
-            return self._fingerprints[name]
-        fingerprint = kernel_fingerprint(self.get_kernel(name))
-        if name in self._kernels:
-            # Mirror get_kernel's guard: when it declined to memoise
-            # (unstattable file, no way to detect a rewrite), a cached
-            # fingerprint would outlive the content it hashes.
-            self._fingerprints[name] = fingerprint
-        return fingerprint
+        return self.resolve(name)[1]
 
     def category(self, name: str) -> str:
         """Workload category, without building when the provider knows."""

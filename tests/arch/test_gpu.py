@@ -79,3 +79,44 @@ def test_gpu_aggregates_telemetry():
         for kind, count in sm_result.event_counts.items():
             expected[kind] = expected.get(kind, 0) + count
     assert result.event_counts == expected
+
+
+def test_gpu_compiles_kernel_once_for_all_sms(monkeypatch):
+    """GPU.run constructs the policy's executable kernel once and
+    shares it across every SM -- even with the static-artifact cache
+    disabled, which would otherwise mask a per-SM recompile."""
+    import repro.compiler.cache as cache_module
+
+    monkeypatch.setenv("LTRF_COMPILE_CACHE", "0")
+    calls = []
+    real_compile = cache_module.compile_kernel
+
+    def counting_compile(*args, **kwargs):
+        calls.append(args)
+        return real_compile(*args, **kwargs)
+
+    monkeypatch.setattr(cache_module, "compile_kernel", counting_compile)
+    config = GPUConfig(max_resident_warps=4, active_warps=4)
+    result = GPU(config, POLICIES["LTRF"], num_sms=3).run(tiny_kernel())
+    assert len(result.per_sm) == 3
+    assert len(calls) == 1
+
+
+def test_gpu_shared_executable_matches_per_sm_compiles(monkeypatch):
+    """Sharing one compiled artifact is observationally identical to
+    the seed behaviour of compiling inside every SM."""
+    from repro.arch.sm import StreamingMultiprocessor
+    from repro.compiler.cache import clear_static_cache
+
+    config = GPUConfig(max_resident_warps=4, active_warps=4)
+    kernel = tiny_kernel()
+    shared = GPU(config, POLICIES["LTRF"], num_sms=2).run(kernel)
+    monkeypatch.setenv("LTRF_COMPILE_CACHE", "0")
+    clear_static_cache()
+    per_sm = [
+        StreamingMultiprocessor(config, POLICIES["LTRF"]).run(
+            kernel, seed=index * 1009
+        )
+        for index in range(2)
+    ]
+    assert shared.per_sm == per_sm

@@ -288,3 +288,97 @@ class TestTelemetry:
             "rfc_writes", "rfc_read_hits", "rfc_read_misses", "rfc_fills",
             "rfc_writebacks", "l1_hit_rate",
         }
+
+
+class TestStaticWorkTelemetry:
+    """Compile/build counters and per-process compile amortization."""
+
+    def test_serial_batch_compiles_each_distinct_kernel_once(self, tmp_path):
+        from repro.compiler.cache import clear_static_cache
+        clear_static_cache()
+        runner = Runner(cache_dir=str(tmp_path))
+        grid = [
+            SimRequest(workload, "LTRF",
+                       SMALL.scaled(mrf_latency_multiple=multiple))
+            for workload in ("btree", "kmeans")
+            for multiple in (1.0, 2.0, 3.0)
+        ]
+        runner.simulate_many(grid)
+        stats = runner.stats
+        # Two distinct kernels, one compile each; the other four grid
+        # points hit the static-artifact cache.
+        assert stats.compile_cache_misses == 2
+        assert stats.compile_cache_hits == 4
+        assert stats.compile_seconds > 0.0
+
+    def test_parallel_workers_compile_at_most_once_per_process(
+            self, tmp_path):
+        from repro.compiler.cache import clear_static_cache
+        clear_static_cache()
+        runner = Runner(cache_dir=str(tmp_path))
+        workloads = ("btree", "kmeans")
+        jobs = 2
+        grid = [
+            SimRequest(workload, "LTRF",
+                       SMALL.scaled(mrf_latency_multiple=multiple))
+            for workload in workloads
+            for multiple in (1.0, 2.0, 3.0)
+        ]
+        runner.simulate_many(grid, jobs=jobs)
+        stats = runner.stats
+        # Every simulation consults the compile cache exactly once...
+        assert stats.compile_cache_hits + stats.compile_cache_misses == (
+            len(grid)
+        )
+        # ...and each distinct kernel is compiled at most once per
+        # worker process (fork-started workers inheriting a warm parent
+        # cache compile even less).
+        assert stats.compile_cache_misses <= len(workloads) * jobs
+
+    def test_front_end_builds_are_attributed(self, tmp_path):
+        """A never-before-resolved workload's build is charged to the
+        batch that triggered it, even though key computation (not the
+        simulation) performs it."""
+        runner = Runner(cache_dir=str(tmp_path))
+        runner.simulate_many(
+            [SimRequest("depchain-29", "BL", SMALL)]
+        )
+        assert runner.stats.kernel_builds >= 1
+        assert runner.stats.kernel_build_seconds > 0.0
+
+    def test_summary_and_render_expose_static_work(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        runner.simulate("btree", "LTRF", SMALL)
+        summary = runner.telemetry_summary()
+        for key in ("kernel_builds", "kernel_build_seconds",
+                    "compile_cache_hits", "compile_cache_misses",
+                    "compile_seconds"):
+            assert key in summary
+        assert "compile cache" in runner.render_telemetry()
+
+
+class TestDispatchChunks:
+    def test_chunks_are_workload_pure_and_cover_all_items(self):
+        from repro.experiments.runner import _dispatch_chunks
+        items = [
+            (f"key-{workload}-{index}", SimRequest(workload, "BL", SMALL))
+            for workload in ("a", "b", "c")
+            for index in range(5)
+        ]
+        chunks = _dispatch_chunks(items, workers=2)
+        flattened = [item for chunk in chunks for item in chunk]
+        assert sorted(key for key, _ in flattened) == sorted(
+            key for key, _ in items
+        )
+        for chunk in chunks:
+            assert len({request.workload for _, request in chunk}) == 1
+
+    def test_large_groups_split_for_load_balance(self):
+        from repro.experiments.runner import _dispatch_chunks
+        items = [
+            (f"key-{index}", SimRequest("only", "BL", SMALL))
+            for index in range(32)
+        ]
+        chunks = _dispatch_chunks(items, workers=4)
+        assert len(chunks) >= 4
+        assert max(len(chunk) for chunk in chunks) <= 8

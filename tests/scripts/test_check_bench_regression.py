@@ -214,3 +214,33 @@ class TestGate:
         bench_json(current, {"a": 1.0})
         assert gate.main([str(current), str(baseline)]) == 2
         assert "no baseline" in capsys.readouterr().err
+
+
+class TestImprovementNotice:
+    def test_large_speedup_prints_improvement_and_passes(self, paths,
+                                                         capsys):
+        current, baseline = paths
+        bench_json(current, {"fast": 1.0, "steady": 2.0})
+        bench_json(baseline, {"fast": 2.0, "steady": 2.0})
+        assert gate.main([str(current), str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "IMPROVEMENT" in out
+        assert "fast" in out
+        assert "re-baselining" in out
+
+    def test_small_speedup_not_flagged(self, paths, capsys):
+        """Within-threshold noise (and the 50 ms slack for tiny
+        benchmarks) must not nag about re-baselining."""
+        current, baseline = paths
+        bench_json(current, {"a": 1.8, "tiny": 0.0001})
+        bench_json(baseline, {"a": 2.0, "tiny": 0.01})
+        assert gate.main([str(current), str(baseline)]) == 0
+        assert "IMPROVEMENT" not in capsys.readouterr().out
+
+    def test_improvement_never_masks_a_regression(self, paths, capsys):
+        current, baseline = paths
+        bench_json(current, {"fast": 1.0, "slow": 9.0})
+        bench_json(baseline, {"fast": 2.0, "slow": 2.0})
+        assert gate.main([str(current), str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "IMPROVEMENT" in out and "REGRESSION" in out
