@@ -1,0 +1,102 @@
+"""Migration smoke check: legacy cache -> `store migrate` -> same table.
+
+Run with:  PYTHONPATH=src python scripts/migration_smoke.py [--workloads N]
+
+End-to-end rehearsal of the legacy-cache upgrade path, used by CI and
+runnable locally before a release:
+
+1. simulate a figure-3 grid into a fresh result store and render the
+   table (the reference rendering);
+2. export every store record into a *legacy-format* flat-file cache
+   (the exact pre-store filenames, lossy sanitisation included);
+3. run the real migrator (`repro.cli store migrate`) into a second,
+   empty store;
+4. re-render figure 3 from the migrated store and require (a) zero
+   re-simulations -- every record must come from the migrated store --
+   and (b) a byte-identical table;
+5. `store verify` the migrated store.
+
+Exits non-zero, with a diff, on any mismatch.
+"""
+
+import argparse
+import difflib
+import sys
+import tempfile
+
+from repro.cli import main as cli_main
+from repro.experiments import Runner
+from repro.experiments.capacity import fig3
+from repro.store import write_legacy_entry
+from repro.workloads import EVALUATION
+
+
+def run(workload_count: int) -> int:
+    workloads = list(EVALUATION)[:workload_count]
+    source_dir = tempfile.mkdtemp(prefix="smoke-source-")
+    legacy_dir = tempfile.mkdtemp(prefix="smoke-legacy-")
+    migrated_dir = tempfile.mkdtemp(prefix="smoke-migrated-")
+
+    print(f"[1/5] simulating fig3 over {workloads} -> {source_dir}")
+    source = Runner(cache_dir=source_dir)
+    reference = fig3(source, workloads).render()
+
+    print(f"[2/5] exporting store records to legacy format -> {legacy_dir}")
+    exported = 0
+    for key in source.result_store.keys():
+        write_legacy_entry(legacy_dir, key, source.result_store.get(key))
+        exported += 1
+    print(f"      {exported} legacy entr(ies) written")
+    if exported == 0:
+        print("FAIL: nothing exported; the source run cached nothing")
+        return 1
+
+    print(f"[3/5] store migrate {legacy_dir} -> {migrated_dir}")
+    code = cli_main(
+        ["store", "migrate", "--dir", migrated_dir, legacy_dir]
+    )
+    if code != 0:
+        print(f"FAIL: store migrate exited {code}")
+        return 1
+
+    print("[4/5] re-rendering fig3 from the migrated store")
+    migrated_runner = Runner(cache_dir=migrated_dir)
+    rendered = fig3(migrated_runner, workloads).render()
+    if migrated_runner.stats.simulated != 0:
+        print(f"FAIL: migrated store missed "
+              f"{migrated_runner.stats.simulated} record(s); migration "
+              "lost or mis-keyed entries")
+        return 1
+    if rendered != reference:
+        print("FAIL: rendered table differs after migration:")
+        sys.stdout.writelines(difflib.unified_diff(
+            reference.splitlines(keepends=True),
+            rendered.splitlines(keepends=True),
+            fromfile="legacy-cache rendering",
+            tofile="migrated-store rendering",
+        ))
+        return 1
+    print("      byte-identical, zero re-simulations")
+
+    print("[5/5] store verify on the migrated store")
+    code = cli_main(["store", "verify", "--dir", migrated_dir])
+    if code != 0:
+        print(f"FAIL: store verify exited {code}")
+        return 1
+    print("OK: migration preserves figure tables byte-for-byte")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workloads", type=int, default=3, metavar="N",
+        help="evaluation workloads to include in the fig3 grid "
+             "(default 3; higher is slower but broader)",
+    )
+    args = parser.parse_args(argv)
+    return run(args.workloads)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,6 +91,13 @@ def main() -> None:
         print(section)
     print()
     print(f"[engine] {runner.render_telemetry()}")
+    if runner.result_store is not None:
+        stats = runner.result_store.stats()
+        print(f"[store] {stats.live_keys} record(s) in {stats.segments} "
+              f"segment(s) across {stats.shards} shard(s) at {stats.root}"
+              + (f"; {stats.superseded} superseded entr(ies) -- "
+                 "`python -m repro.cli store compact` reclaims them"
+                 if stats.superseded else ""))
 
 
 if __name__ == "__main__":

@@ -10,6 +10,10 @@ Usage (after ``pip install -e .``):
     python -m repro.cli export-kernel backprop -o bp.kernel.json
     python -m repro.cli experiment fig9a fig10 table4 --jobs 4
     python -m repro.cli sweep backprop --policies BL,LTRF,LTRF+ --jobs 4
+    python -m repro.cli store stats
+    python -m repro.cli store verify
+    python -m repro.cli store compact
+    python -m repro.cli store migrate [LEGACY_DIR] [--delete-legacy]
 
 Workload arguments resolve through the registry
 (:mod:`repro.workloads.registry`): any suite name, any scenario-family
@@ -21,6 +25,7 @@ tables and figures (see DESIGN.md's experiment index).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -33,8 +38,15 @@ from repro.experiments import (
     max_tolerable_latency, normalized_sweep, overheads, sweep_requests,
     table1, table2, table2_config, table4,
 )
+from repro.experiments.runner import default_cache_dir
 from repro.ir import kernel_fingerprint, save_kernel
 from repro.policies import POLICIES
+from repro.store import (
+    ResultStore,
+    StoreError,
+    count_legacy_entries,
+    migrate_legacy_dir,
+)
 from repro.workloads import (
     UnknownWorkloadError,
     default_registry,
@@ -144,11 +156,43 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="comma-separated policy names")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep grid")
+
+    store = sub.add_parser(
+        "store", help="inspect/maintain the on-disk result store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    descriptions = {
+        "stats": "segment/record/damage counts for the store",
+        "verify": "full consistency scan (corrupt lines, key conflicts); "
+                  "exits 1 on failure",
+        "compact": "GC pass: rewrite each shard to one duplicate-free "
+                   "segment (run while no simulations are writing)",
+        "migrate": "ingest a legacy flat-file .ltrf_cache directory",
+    }
+    for name, description in descriptions.items():
+        command = store_sub.add_parser(name, help=description)
+        command.add_argument(
+            "--dir", default=None, metavar="DIR",
+            help="store root (default: $LTRF_CACHE_DIR or ./.ltrf_cache)",
+        )
+        if name == "migrate":
+            command.add_argument(
+                "legacy_dir", nargs="?", default=None,
+                help="directory holding legacy *.json entries "
+                     "(default: the store root itself, i.e. migrate "
+                     "in place)",
+            )
+            command.add_argument(
+                "--delete-legacy", action="store_true",
+                help="remove successfully ingested legacy files",
+            )
     return parser
 
 
-class _WorkloadResolutionError(SystemExit):
-    """Unresolvable workload: carries the printed exit code (2)."""
+class _CliError(SystemExit):
+    """Clean one-line CLI failure: the message has already been
+    printed to stderr; carries the exit code (2, or 1 for a failed
+    store verify)."""
 
 
 def _require_json_suffix(path: str) -> None:
@@ -162,7 +206,7 @@ def _require_json_suffix(path: str) -> None:
     if not is_kernel_file_name(path):
         print(f"error: kernel files must end in .json (got {path!r}); "
               f"e.g. {path}{KERNEL_FILE_SUFFIX}", file=sys.stderr)
-        raise _WorkloadResolutionError(2)
+        raise _CliError(2)
 
 
 def _resolve_workload(name: Optional[str],
@@ -181,13 +225,13 @@ def _resolve_workload(name: Optional[str],
         if name is not None:
             print("error: pass either a workload name or --kernel-file, "
                   "not both", file=sys.stderr)
-            raise _WorkloadResolutionError(2)
+            raise _CliError(2)
         _require_json_suffix(kernel_file)
         name = kernel_file
     if name is None:
         print("error: a workload name or --kernel-file is required",
               file=sys.stderr)
-        raise _WorkloadResolutionError(2)
+        raise _CliError(2)
     try:
         default_registry().get_kernel(name)
     except ValueError as error:
@@ -195,8 +239,24 @@ def _resolve_workload(name: Optional[str],
         # KernelSerializationError (bad/missing file), and out-of-range
         # scenario parameters -- all ValueError subclasses.
         print(f"error: {error}", file=sys.stderr)
-        raise _WorkloadResolutionError(2) from None
+        raise _CliError(2) from None
     return name
+
+
+def _make_runner() -> Runner:
+    """Construct the cached runner, failing cleanly on a bad cache dir.
+
+    ``default_cache_dir`` raises ValueError on ``LTRF_CACHE_DIR=""``
+    (set but empty -- almost always a misquoted export), and
+    ``ResultStore`` raises StoreError on an unreadable or mismatched
+    STORE_FORMAT marker; surface both as a one-line error instead of a
+    traceback, matching the `store` subcommands.
+    """
+    try:
+        return Runner()
+    except (ValueError, StoreError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise _CliError(2) from None
 
 
 def _cmd_simulate(args) -> None:
@@ -208,7 +268,7 @@ def _cmd_simulate(args) -> None:
               else baseline_config())
     if args.latency is not None:
         config = config.with_latency_multiple(args.latency)
-    runner = Runner()
+    runner = _make_runner()
     result = runner.simulate(workload, args.policy, config)
     print(f"workload           {workload}")
     print(f"policy             {args.policy}")
@@ -250,7 +310,7 @@ def _cmd_compile(args) -> None:
 
 
 def _cmd_experiment(names: List[str], jobs: int) -> None:
-    runner = Runner()
+    runner = _make_runner()
     selected = sorted(EXPERIMENTS) if "all" in names else names
     for name in selected:
         result = EXPERIMENTS[name](runner, jobs)
@@ -261,7 +321,7 @@ def _cmd_experiment(names: List[str], jobs: int) -> None:
 
 def _cmd_sweep(args) -> None:
     workload = _resolve_workload(args.workload, args.kernel_file)
-    runner = Runner()
+    runner = _make_runner()
     policies = [policy.strip() for policy in args.policies.split(",")]
     runner.simulate_many(
         [
@@ -290,9 +350,81 @@ def _cmd_export_kernel(args) -> None:
         save_kernel(kernel, output)
     except OSError as error:
         print(f"error: cannot write {output!r}: {error}", file=sys.stderr)
-        raise _WorkloadResolutionError(2) from None
+        raise _CliError(2) from None
     print(f"exported {workload} -> {output} "
           f"(fingerprint {kernel_fingerprint(kernel)})")
+
+
+def _store_root(args) -> str:
+    """Resolve the store root for a ``store`` subcommand."""
+    if args.dir is not None:
+        return args.dir
+    try:
+        return default_cache_dir()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise _CliError(2) from None
+
+
+def _open_store(root: str, must_exist: bool) -> ResultStore:
+    """Open the store at ``root``.
+
+    With ``must_exist`` (the inspection commands) the directory is
+    never mutated: a missing directory, a missing STORE_FORMAT marker
+    (e.g. a legacy flat-file cache awaiting migration), or a bad
+    marker all fail with a one-line error instead of silently
+    initialising a store there and reporting an empty "OK".
+    """
+    if must_exist and not os.path.isdir(root):
+        print(f"error: no result store at {root!r} (nothing simulated "
+              "yet, or wrong --dir/$LTRF_CACHE_DIR?)", file=sys.stderr)
+        raise _CliError(2)
+    try:
+        return ResultStore(root, create=not must_exist)
+    except (StoreError, OSError) as error:
+        hint = ""
+        if must_exist and count_legacy_entries(root):
+            hint = (f"; it holds {count_legacy_entries(root)} legacy "
+                    "flat-file entr(ies) -- run `store migrate` to "
+                    "ingest them first")
+        print(f"error: {error}{hint}", file=sys.stderr)
+        raise _CliError(2) from None
+
+
+def _legacy_note(store: ResultStore) -> None:
+    if store.has_legacy_entries():
+        print(f"note: {count_legacy_entries(store.root)} legacy "
+              "flat-file entr(ies) alongside this store are NOT "
+              "included above; run `store migrate` to ingest them.")
+
+
+def _cmd_store(args) -> None:
+    root = _store_root(args)
+    if args.store_command == "stats":
+        store = _open_store(root, must_exist=True)
+        print(store.stats().render())
+        _legacy_note(store)
+    elif args.store_command == "verify":
+        store = _open_store(root, must_exist=True)
+        report = store.verify()
+        print(report.render())
+        _legacy_note(store)
+        if not report.ok:
+            raise _CliError(1)
+    elif args.store_command == "compact":
+        print(_open_store(root, must_exist=True).compact().render())
+    elif args.store_command == "migrate":
+        legacy_dir = args.legacy_dir if args.legacy_dir is not None else root
+        if not os.path.isdir(legacy_dir):
+            print(f"error: no such legacy cache directory: {legacy_dir!r}",
+                  file=sys.stderr)
+            raise _CliError(2)
+        store = _open_store(root, must_exist=False)
+        report = migrate_legacy_dir(
+            legacy_dir, store, delete_legacy=args.delete_legacy
+        )
+        store.close()
+        print(report.render())
 
 
 def _cmd_list_workloads(args) -> None:
@@ -302,7 +434,7 @@ def _cmd_list_workloads(args) -> None:
             family = registry.family(args.family)
         except UnknownWorkloadError as error:
             print(f"error: {error}", file=sys.stderr)
-            raise _WorkloadResolutionError(2) from None
+            raise _CliError(2) from None
         print(f"family    {family.prefix}")
         print(f"about     {family.description}")
         print(f"parameter {family.parameter}")
@@ -349,7 +481,9 @@ def main(argv: List[str] = None) -> int:
             _cmd_experiment(args.names, args.jobs)
         elif args.command == "sweep":
             _cmd_sweep(args)
-    except _WorkloadResolutionError as error:
+        elif args.command == "store":
+            _cmd_store(args)
+    except _CliError as error:
         return int(error.code)
     return 0
 

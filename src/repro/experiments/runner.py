@@ -16,11 +16,15 @@ the returned list is aligned with the input order regardless of
 completion order, so ``jobs=N`` is bit-for-bit equivalent to serial
 execution.
 
-On-disk entries are published atomically (temp file + ``os.replace``),
-so concurrent runners -- pool workers, parallel pytest sessions, two
-terminals -- can share one cache directory: readers only ever observe
-complete files, and a corrupt entry (e.g. from a crash predating the
-atomic writes) is deleted on load and regenerated.
+On-disk persistence lives in :mod:`repro.store`: a sharded,
+append-only, crash-consistent result store addressed by the *full*
+cache key (naming is injective by construction -- the legacy
+one-file-per-entry cache named files with a lossy key sanitisation
+that could alias two distinct keys onto one file).  Completed records
+are flushed to the store as they arrive, so a sweep killed mid-run
+resumes without re-simulating anything already flushed, and a pool
+whose workers die (``BrokenProcessPool``) is re-dispatched once over
+the unfinished remainder before failing with an actionable error.
 """
 
 from __future__ import annotations
@@ -28,15 +32,17 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import sys
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import asdict, dataclass, field, fields
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field, fields, is_dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.arch.config import GPUConfig
 from repro.arch.sm import StreamingMultiprocessor
 from repro.compiler.cache import STATS as COMPILE_STATS
 from repro.policies import policy_by_name
-from repro.util import atomic_write_text
+from repro.store import ResultStore
 from repro.workloads import (
     UnknownWorkloadError,
     resolve_workload,
@@ -46,15 +52,30 @@ from repro.workloads.registry import BUILD_STATS
 
 
 def default_cache_dir() -> str:
-    """Resolve the default on-disk cache location.
+    """Resolve the default on-disk result-store location.
 
-    ``LTRF_CACHE_DIR`` wins when set; otherwise the cache lives under
-    the current working directory.  (Deriving it from ``__file__``, as
-    early versions did, writes next to site-packages for a
-    pip-installed package.)
+    This is the **single** place ``LTRF_CACHE_DIR`` is read, and it is
+    consulted at :class:`Runner` construction time (the default of the
+    ``cache_dir`` argument).  When the variable is set it wins;
+    otherwise the store lives under the current working directory.
+    (Deriving it from ``__file__``, as early versions did, writes next
+    to site-packages for a pip-installed package.)
+
+    An *empty* ``LTRF_CACHE_DIR`` is an error, not "unset": an empty
+    value almost always means a misquoted shell export, and silently
+    falling back to ``./.ltrf_cache`` would scatter caches across
+    working directories.
     """
     configured = os.environ.get("LTRF_CACHE_DIR")
-    if configured:
+    if configured is not None:
+        if not configured:
+            raise ValueError(
+                "LTRF_CACHE_DIR is set but empty.  Set it to the "
+                "directory the result store should live in, unset it "
+                "to use ./.ltrf_cache under the current working "
+                "directory, or pass Runner(cache_dir=None) to disable "
+                "on-disk persistence."
+            )
         return configured
     return os.path.join(os.getcwd(), ".ltrf_cache")
 
@@ -260,6 +281,9 @@ class RunnerStats:
     batch_requests: int = 0
     batch_deduplicated: int = 0
     batch_dispatched: int = 0
+    #: Times a broken process pool was replaced mid-grid (worker death
+    #: recovery; see Runner._run_parallel).
+    pool_retries: int = 0
     # Aggregated simulation telemetry (simulated-vs-host-time stats).
     host_seconds: float = 0.0
     simulated_cycles: int = 0
@@ -301,28 +325,95 @@ class RunnerStats:
             self.event_counts[kind] = self.event_counts.get(kind, 0) + count
 
 
+#: Field types the cache-key fingerprint encodes natively.  GPUConfig
+#: today uses exactly str, int, float and bool (plus the nested
+#: MemoryConfig dataclass of ints); None is allowed for optional
+#: fields.
+_FINGERPRINT_SCALARS = (bool, int, float, str, type(None))
+
+
+def _fingerprint_encode(name: str, value):
+    """Losslessly encode one config field for the fingerprint blob.
+
+    Strict on purpose: the seed serialised unknown field types with
+    ``json.dumps(..., default=str)``, so two configs whose fields
+    differed only in ways ``str()`` collapses (any two objects sharing
+    a string form) produced the *same* fingerprint -- i.e. the same
+    cache key for different design points.  Unknown types now raise at
+    key-computation time instead of aliasing at lookup time.
+    """
+    if isinstance(value, _FINGERPRINT_SCALARS):
+        return value
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _fingerprint_encode(f"{name}.{f.name}",
+                                        getattr(value, f.name))
+            for f in fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [
+            _fingerprint_encode(f"{name}[{index}]", item)
+            for index, item in enumerate(value)
+        ]
+    raise TypeError(
+        f"cannot fingerprint GPUConfig field {name!r} of type "
+        f"{type(value).__qualname__}: add an explicit lossless encoding "
+        "to _fingerprint_encode (refusing to fall back to str(), which "
+        "can collapse distinct configurations onto one cache key)"
+    )
+
+
 def _config_fingerprint(config: GPUConfig) -> str:
+    # Encodes to the same blob as the historical asdict()+json path for
+    # every type GPUConfig actually uses, so fingerprints -- and
+    # therefore existing store entries -- stay valid (pinned by
+    # tests/experiments/test_runner_batch.py).
     payload = {
-        field.name: getattr(config, field.name)
+        field.name: _fingerprint_encode(field.name,
+                                        getattr(config, field.name))
         for field in fields(config)
-        if field.name != "memory"
     }
-    payload["memory"] = asdict(config.memory)
-    blob = json.dumps(payload, sort_keys=True, default=str)
+    blob = json.dumps(payload, sort_keys=True)
     return hashlib.sha1(blob.encode()).hexdigest()[:16]
 
 
+#: Store roots we have already warned about (one warning per process).
+_LEGACY_WARNED = set()
+
+
+def _warn_legacy_entries(cache_dir: str) -> None:
+    if cache_dir in _LEGACY_WARNED:
+        return
+    _LEGACY_WARNED.add(cache_dir)
+    print(
+        f"note: {cache_dir} holds legacy flat-file cache entries the "
+        "result store does not read; run `python -m repro.cli store "
+        "migrate` to ingest them (or ignore this to re-simulate cold).",
+        file=sys.stderr,
+    )
+
+
 class Runner:
-    """Cached simulation front-end used by all experiments."""
+    """Cached simulation front-end used by all experiments.
+
+    ``cache_dir`` defaults to :func:`default_cache_dir` -- the one
+    place ``LTRF_CACHE_DIR`` is honoured -- and names the root of the
+    sharded :class:`~repro.store.ResultStore`; ``None`` disables
+    on-disk persistence entirely.
+    """
 
     def __init__(self, cache_dir: Optional[str] = _DEFAULT_CACHE) -> None:
         if cache_dir is _DEFAULT_CACHE:
             cache_dir = default_cache_dir()
         self.cache_dir = cache_dir
+        self.result_store: Optional[ResultStore] = (
+            ResultStore(cache_dir) if cache_dir is not None else None
+        )
         self._memory_cache: Dict[str, RunRecord] = {}
         self.stats = RunnerStats()
-        if cache_dir is not None:
-            os.makedirs(cache_dir, exist_ok=True)
+        if self.result_store is not None \
+                and self.result_store.has_legacy_entries():
+            _warn_legacy_entries(cache_dir)
 
     # -- cache plumbing -----------------------------------------------------
 
@@ -360,56 +451,34 @@ class Runner:
             return key
         return f"{key.rsplit('__k', 1)[0]}__k{fingerprint}"
 
-    def _cache_path(self, key: str) -> Optional[str]:
-        if self.cache_dir is None:
-            return None
-        safe = key.replace("/", "_").replace("+", "plus")
-        if len(safe) > 180:
-            # File-backed workloads put a whole path in the key; keep
-            # the entry filename within every filesystem's limits.
-            safe = hashlib.sha1(safe.encode()).hexdigest()
-        return os.path.join(self.cache_dir, f"{safe}.json")
-
     def _load(self, key: str) -> Optional[RunRecord]:
         if key in self._memory_cache:
             self.stats.memory_hits += 1
             return self._memory_cache[key]
-        path = self._cache_path(key)
-        if path is None:
+        if self.result_store is None:
+            return None
+        payload = self.result_store.get(key)
+        if payload is None:
             return None
         try:
-            handle = open(path)
-        except FileNotFoundError:
-            return None
-        try:
-            with handle:
-                read_stat = os.fstat(handle.fileno())
-                payload = json.load(handle)
             record = RunRecord(**payload)
-        except (ValueError, TypeError, KeyError):
-            # Truncated (crash predating atomic writes) or stale-schema
-            # entry: delete it so the next store regenerates it cleanly.
-            # Only remove the exact file we inspected -- a concurrent
-            # writer may have already republished a valid entry here.
-            try:
-                if os.stat(path).st_ino == read_stat.st_ino:
-                    os.remove(path)
-            except OSError:
-                pass
+        except TypeError:
+            # Stale-schema entry (fields added/renamed since it was
+            # written): treat as a miss.  The re-simulated record is
+            # appended under the same key and shadows it; compaction
+            # reclaims the dead bytes.
             return None
         self.stats.disk_hits += 1
         self._memory_cache[key] = record
         return record
 
     def _store(self, key: str, record: RunRecord) -> None:
+        # Flushed immediately (not at merge time): anything stored here
+        # survives a mid-sweep crash, which is what makes sweeps
+        # resumable.
         self._memory_cache[key] = record
-        path = self._cache_path(key)
-        if path is None:
-            return
-        # Atomic publish, so concurrent readers never observe a
-        # partially written entry and racing writers (which compute
-        # identical payloads) last-win.
-        atomic_write_text(path, json.dumps(asdict(record)))
+        if self.result_store is not None:
+            self.result_store.put(key, asdict(record))
 
     # -- simulation ---------------------------------------------------------
 
@@ -474,8 +543,38 @@ class Runner:
         if pending:
             items = list(pending.items())
             if jobs is not None and jobs > 1 and len(items) > 1:
-                workers = min(jobs, len(items))
-                chunks = _dispatch_chunks(items, workers)
+                self._run_parallel(items, jobs, results)
+            else:
+                for key, request in items:
+                    record, telemetry = execute_request_with_telemetry(
+                        request
+                    )
+                    self.stats.simulated += 1
+                    self.stats.note_telemetry(telemetry)
+                    self._store(self._content_key(key, telemetry), record)
+                    results[key] = record
+        return [results[key] for key in keys]
+
+    def _run_parallel(self, items: List[tuple], jobs: int,
+                      results: Dict[str, RunRecord]) -> None:
+        """Fan ``(key, request)`` misses out over a process pool.
+
+        Records are stored (and flushed to the result store) as each
+        chunk completes, so no completed work is ever lost.  If worker
+        processes die (``BrokenProcessPool`` -- OOM killer, hard
+        crash), the unfinished remainder is re-dispatched once on a
+        fresh pool; a second failure raises an actionable error that
+        points at the resume semantics instead of silently discarding
+        the sweep.
+        """
+        remaining = items
+        total = len(items)
+        for attempt in (1, 2):
+            broken: Optional[BaseException] = None
+            unknown: Optional[UnknownWorkloadError] = None
+            workers = min(jobs, len(remaining))
+            chunks = _dispatch_chunks(remaining, workers)
+            try:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = {
                         pool.submit(
@@ -489,15 +588,18 @@ class Runner:
                         try:
                             outcomes = future.result()
                         except UnknownWorkloadError as error:
-                            raise RuntimeError(
-                                f"workload {error.name!r} could not "
-                                "be resolved in a worker process: "
-                                "runtime registrations are "
-                                "per-process.  Export it to a "
-                                ".kernel.json file, add it to the "
-                                "suite or built-in families, or run "
-                                "with jobs=1."
-                            ) from error
+                            # Not retryable (registrations are
+                            # per-process), but keep draining so every
+                            # other chunk's completed results are
+                            # stored before we raise.
+                            unknown = error
+                            continue
+                        except BrokenProcessPool as error:
+                            # Keep draining: chunks that finished
+                            # before the pool died still carry
+                            # results we must store.
+                            broken = error
+                            continue
                         for (key, _), (record, telemetry) in zip(
                             chunk, outcomes
                         ):
@@ -507,16 +609,43 @@ class Runner:
                                 self._content_key(key, telemetry), record
                             )
                             results[key] = record
-            else:
-                for key, request in items:
-                    record, telemetry = execute_request_with_telemetry(
-                        request
-                    )
-                    self.stats.simulated += 1
-                    self.stats.note_telemetry(telemetry)
-                    self._store(self._content_key(key, telemetry), record)
-                    results[key] = record
-        return [results[key] for key in keys]
+            except BrokenProcessPool as error:
+                # Raised outside future.result() (e.g. by submit or
+                # pool shutdown) when workers die very early.
+                broken = error
+            if unknown is not None:
+                raise RuntimeError(
+                    f"workload {unknown.name!r} could not be resolved "
+                    "in a worker process: runtime registrations are "
+                    "per-process.  Export it to a .kernel.json file, "
+                    "add it to the suite or built-in families, or run "
+                    "with jobs=1.  (Every other grid point that "
+                    "completed was already flushed to the result "
+                    "store.)"
+                ) from unknown
+            if broken is None:
+                return
+            remaining = [
+                (key, request) for key, request in remaining
+                if key not in results
+            ]
+            if not remaining:
+                return
+            if attempt == 1:
+                self.stats.pool_retries += 1
+                continue
+            raise RuntimeError(
+                "simulation worker process(es) died (BrokenProcessPool) "
+                "twice while running this grid; "
+                f"{len(remaining)} of {total} dispatched point(s) remain "
+                f"unsimulated and {total - len(remaining)} completed "
+                "record(s) were already flushed to the result store.  "
+                "Re-running the same sweep resumes from the store "
+                "without repeating them.  If the crash persists, run "
+                "with jobs=1 to isolate the failing grid point; common "
+                "causes are the OOM killer (reduce --jobs) or a worker "
+                "hitting a hard fault."
+            ) from broken
 
     # -- telemetry ----------------------------------------------------------
 

@@ -1,0 +1,33 @@
+"""Sharded, crash-consistent result store (see result_store.py)."""
+
+from repro.store.legacy import (
+    MigrationReport,
+    count_legacy_entries,
+    iter_legacy_entries,
+    legacy_entry_name,
+    migrate_legacy_dir,
+    write_legacy_entry,
+)
+from repro.store.result_store import (
+    DEFAULT_SHARDS,
+    CompactionReport,
+    ResultStore,
+    StoreError,
+    StoreStats,
+    VerifyReport,
+)
+
+__all__ = [
+    "CompactionReport",
+    "DEFAULT_SHARDS",
+    "MigrationReport",
+    "ResultStore",
+    "StoreError",
+    "StoreStats",
+    "VerifyReport",
+    "count_legacy_entries",
+    "iter_legacy_entries",
+    "legacy_entry_name",
+    "migrate_legacy_dir",
+    "write_legacy_entry",
+]

@@ -1,0 +1,217 @@
+"""One-shot migration from the legacy flat-file result cache.
+
+Before the sharded store, each cached result lived in its own JSON
+file named by a *lossy* sanitisation of the cache key::
+
+    <dir>/<key.replace("/", "_").replace("+", "plus")>.json    # <=180 chars
+    <dir>/<sha1(sanitised key)>.json                           # otherwise
+
+The sanitisation is not invertible from the filename alone, but the
+payload inside each file carries the exact ``workload`` and ``policy``
+strings -- the only two key components the sanitiser can mangle (the
+config fingerprint, seed, and kernel fingerprint are hex/decimal and
+pass through untouched).  The migrator therefore reconstructs the full
+key from ``payload + filename tail``, re-sanitises it, and only
+ingests entries whose reconstruction round-trips to the exact filename
+it came from; anything else (hash-named entries, foreign files,
+aliased leftovers) is skipped and counted, never guessed at.  Skipped
+entries only cost re-simulation -- the store never inherits a record
+it cannot address correctly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.store.result_store import (
+    FORMAT_FILE,
+    MIGRATED_MARKER,
+    ResultStore,
+)
+from repro.util import atomic_write_text
+
+_HASHED_NAME = re.compile(r"[0-9a-f]{40}\Z")
+
+
+def legacy_entry_name(key: str) -> str:
+    """The exact filename the legacy cache used for ``key``.
+
+    Kept (a) so migration can check reconstructed keys round-trip and
+    (b) so tests and the CI migration smoke can fabricate
+    legacy-format caches without resurrecting the old writer.
+    """
+    safe = key.replace("/", "_").replace("+", "plus")
+    if len(safe) > 180:
+        safe = hashlib.sha1(safe.encode()).hexdigest()
+    return f"{safe}.json"
+
+
+def write_legacy_entry(directory: str, key: str, payload: dict) -> str:
+    """Write one legacy-format cache entry (test/smoke support)."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, legacy_entry_name(key))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+@dataclass
+class MigrationReport:
+    """What a legacy-directory ingest did (and declined to do)."""
+
+    source: str
+    migrated: int = 0
+    #: sha1-named entries: the key is unrecoverable from a hash.
+    skipped_hashed: int = 0
+    #: files whose reconstructed key does not round-trip to their own
+    #: filename, or whose payload is unusable -- includes the victims
+    #: of the sanitiser's aliasing this store exists to fix.
+    skipped_unrecognized: int = 0
+    unrecognized_names: list = field(default_factory=list)
+
+    @property
+    def skipped(self) -> int:
+        return self.skipped_hashed + self.skipped_unrecognized
+
+    def render(self) -> str:
+        lines = [
+            f"migrated {self.migrated} legacy entr(ies) from {self.source}",
+            f"  skipped {self.skipped_hashed} hash-named entr(ies) "
+            "(key unrecoverable; will re-simulate)",
+            f"  skipped {self.skipped_unrecognized} unrecognized file(s)",
+        ]
+        for name in self.unrecognized_names[:10]:
+            lines.append(f"    {name}")
+        if len(self.unrecognized_names) > 10:
+            lines.append(
+                f"    ... and {len(self.unrecognized_names) - 10} more"
+            )
+        return "\n".join(lines)
+
+
+def count_legacy_entries(directory: str) -> int:
+    """Flat ``*.json`` files in ``directory`` (prospective migration
+    input); purely informational, touches nothing."""
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return 0
+    return sum(
+        1 for name in names
+        if name.endswith(".json") and name != FORMAT_FILE
+        and os.path.isfile(os.path.join(directory, name))
+    )
+
+
+def _reconstruct_key(stem: str, payload: dict) -> Optional[str]:
+    """Rebuild the full cache key for a legacy entry, or ``None``.
+
+    ``stem`` is the filename without ``.json``; the tail three
+    ``__``-separated components (config fingerprint, seed, ``k`` +
+    kernel fingerprint) are sanitisation-proof, while workload and
+    policy come from the payload itself.
+    """
+    workload = payload.get("workload")
+    policy = payload.get("policy")
+    if not isinstance(workload, str) or not isinstance(policy, str):
+        return None
+    parts = stem.rsplit("__", 3)
+    if len(parts) != 4 or not parts[3].startswith("k"):
+        return None
+    _, config_fp, seed, kernel_fp = parts
+    key = f"{workload}__{policy}__{config_fp}__{seed}__{kernel_fp}"
+    # Round-trip check: the reconstruction must sanitise back to the
+    # very filename it was read from, or we are guessing.
+    if legacy_entry_name(key) != f"{stem}.json":
+        return None
+    return key
+
+
+def iter_legacy_entries(
+    directory: str,
+) -> Iterator[Tuple[str, Optional[str], Optional[dict]]]:
+    """Yield ``(filename, key, payload)`` for each legacy ``*.json``.
+
+    ``key`` is ``None`` when the filename is a hash (unrecoverable).
+    ``payload`` is ``None`` when the entry cannot be ingested: either
+    unrecoverable, or the file is unreadable, or the key
+    reconstruction failed its round-trip check (``key`` then holds the
+    filename stem, for reporting).
+    """
+    try:
+        names = sorted(os.listdir(directory))
+    except FileNotFoundError:
+        return
+    for name in names:
+        path = os.path.join(directory, name)
+        if (not name.endswith(".json") or name == FORMAT_FILE
+                or not os.path.isfile(path)):
+            continue
+        stem = name[:-len(".json")]
+        if _HASHED_NAME.fullmatch(stem):
+            yield name, None, None
+            continue
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
+        except (OSError, ValueError):
+            yield name, stem, None
+            continue
+        key = _reconstruct_key(stem, payload)
+        if key is None:
+            yield name, stem, None
+        else:
+            yield name, key, payload
+
+
+def migrate_legacy_dir(directory: str, store: ResultStore,
+                       delete_legacy: bool = False) -> MigrationReport:
+    """Ingest a legacy flat-file cache directory into ``store``.
+
+    Idempotent: re-running re-puts identical payloads (superseded
+    duplicates, reclaimed by compaction).  ``directory`` may be the
+    store's own root -- the store keeps its data under ``shard-*/``
+    subdirectories, so in-place migration of a ``.ltrf_cache`` that
+    predates the store is the expected upgrade path.  With
+    ``delete_legacy`` the ingested files are removed afterwards;
+    skipped files are always left alone.
+    """
+    report = MigrationReport(source=directory)
+    ingested: Dict[str, str] = {}
+    for name, key, payload in iter_legacy_entries(directory):
+        if key is None and payload is None:
+            report.skipped_hashed += 1
+            continue
+        if payload is None:
+            report.skipped_unrecognized += 1
+            report.unrecognized_names.append(name)
+            continue
+        store.put(key, payload)
+        ingested[name] = key
+        report.migrated += 1
+    if delete_legacy:
+        for name in ingested:
+            try:
+                os.remove(os.path.join(directory, name))
+            except OSError:
+                pass
+    # Record that this directory has been ingested so kept-around
+    # legacy files stop triggering the runner's migrate note.  (If an
+    # old-version writer later adds *new* flat entries here, re-run
+    # migrate -- the marker only says a one-shot ingest happened.)
+    atomic_write_text(
+        os.path.join(directory, MIGRATED_MARKER),
+        json.dumps({
+            "migrated": report.migrated,
+            "skipped_hashed": report.skipped_hashed,
+            "skipped_unrecognized": report.skipped_unrecognized,
+        }, sort_keys=True) + "\n",
+    )
+    return report

@@ -1,0 +1,594 @@
+"""Sharded, append-only, crash-consistent result store.
+
+The experiment runner used to keep one JSON file per cached result,
+named by a *lossy* sanitisation of the cache key (``/`` -> ``_``,
+``+`` -> ``plus``).  Two distinct keys could alias to the same
+filename and silently serve each other's records -- the exact
+silent-wrong-results hazard the fingerprinted keys were built to kill.
+This store closes that hole by construction: records are addressed by
+their **full key string** through an index, never through a
+key-derived filename.
+
+Layout::
+
+    <root>/
+        STORE_FORMAT                     # format marker (version, shard count)
+        shard-00/ .. shard-<NN>/         # sha256(key) % shards
+            seg-<seq>-<writer>.jsonl     # append-only segment files
+
+Each segment line is one JSON object ``{"k": <full key>, "r":
+<record payload>}``.  A writer process appends to its *own* segment
+file (one per shard, created lazily), so appends never interleave;
+concurrent runners sharing a directory simply produce sibling
+segments.  Within a shard, segments are replayed in ``(seq, writer)``
+order and later entries win, which makes compaction trivially
+crash-safe: the compacted segment is published atomically under a
+higher sequence number (via :func:`repro.util.atomic_write_text`)
+*before* the stale segments are unlinked -- a crash between the two
+steps only leaves superseded duplicates, never data loss.
+
+Crash consistency on the read side: a torn final line (writer crashed
+mid-append) is tolerated -- scans only consume byte ranges ending in a
+newline, so a partial tail is invisible until its writer completes it,
+and a crashed writer's partial tail is simply skipped forever (and
+dropped by the next compaction).  A corrupt *interior* line is
+counted, skipped, and reported by ``verify``.
+
+The in-memory index maps key -> record payload and is (re)built by
+scanning segments lazily per shard; on a lookup miss the shard is
+re-scanned incrementally (only bytes appended since the last scan), so
+a store instance observes records published by concurrent writers
+without re-reading whole files.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.util import atomic_write_text
+
+#: Store format marker file, written once at store creation.
+FORMAT_FILE = "STORE_FORMAT"
+#: Marker the legacy migrator drops in an ingested directory (see
+#: repro.store.legacy); its presence silences has_legacy_entries().
+MIGRATED_MARKER = "LEGACY_MIGRATED"
+FORMAT_NAME = "ltrf-store"
+FORMAT_VERSION = 1
+DEFAULT_SHARDS = 16
+#: Rotate a writer's active segment once it exceeds this many bytes.
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+_SHARD_PREFIX = "shard-"
+_SEGMENT_PREFIX = "seg-"
+_SEGMENT_SUFFIX = ".jsonl"
+
+
+class StoreError(Exception):
+    """Unusable store directory (bad marker, unreadable layout)."""
+
+
+@dataclass
+class StoreStats:
+    """Aggregate shape of a store, as reported by ``store stats``."""
+
+    root: str
+    shards: int
+    segments: int
+    entries: int          # total JSONL lines that parsed
+    live_keys: int        # distinct keys (what a reader can serve)
+    superseded: int       # entries shadowed by a later write of their key
+    corrupt_lines: int    # interior lines that failed to parse
+    torn_tails: int       # segments ending in a partial line
+    bytes: int
+
+    def render(self) -> str:
+        return (
+            f"store {self.root}\n"
+            f"  format      {FORMAT_NAME} v{FORMAT_VERSION}, "
+            f"{self.shards} shard(s)\n"
+            f"  segments    {self.segments} ({self.bytes} bytes)\n"
+            f"  records     {self.live_keys} live key(s), "
+            f"{self.superseded} superseded, {self.entries} total entr(ies)\n"
+            f"  damage      {self.corrupt_lines} corrupt line(s), "
+            f"{self.torn_tails} torn tail(s)"
+        )
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a full-store consistency scan."""
+
+    stats: StoreStats
+    #: key -> number of *distinct* payloads observed (>1 is a conflict:
+    #: the simulator is deterministic, so one key must map to one
+    #: payload; a conflict means aliasing or corruption).
+    conflicts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.conflicts and self.stats.corrupt_lines == 0
+
+    def render(self) -> str:
+        lines = [self.stats.render()]
+        if self.conflicts:
+            lines.append(f"  CONFLICTS   {len(self.conflicts)} key(s) with "
+                         "multiple distinct payloads:")
+            for key in sorted(self.conflicts):
+                lines.append(f"    {key!r}: {self.conflicts[key]} payloads")
+        lines.append(f"  verdict     {'OK' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CompactionReport:
+    """Outcome of a compaction/GC pass."""
+
+    shards_compacted: int
+    segments_before: int
+    segments_after: int
+    entries_dropped: int      # superseded + corrupt + torn lines removed
+    bytes_before: int
+    bytes_after: int
+
+    def render(self) -> str:
+        return (
+            f"compacted {self.shards_compacted} shard(s): "
+            f"{self.segments_before} -> {self.segments_after} segment(s), "
+            f"{self.bytes_before} -> {self.bytes_after} bytes, "
+            f"dropped {self.entries_dropped} dead entr(ies)"
+        )
+
+
+def _encode_entry(key: str, payload: dict) -> str:
+    # sort_keys so identical records encode identically regardless of
+    # construction order -- verify's distinct-payload check relies on it.
+    return json.dumps({"k": key, "r": payload}, sort_keys=True) + "\n"
+
+
+def _decode_entry(line: bytes) -> Optional[Tuple[str, dict]]:
+    """Parse one non-blank segment line; ``None`` if it is corrupt.
+
+    The single place entry framing is validated, shared by the
+    incremental index and the full stats/verify/compact replay so the
+    two can never disagree about what counts as corrupt.
+    """
+    try:
+        entry = json.loads(line)
+        key, payload = entry["k"], entry["r"]
+        if not isinstance(key, str) or not isinstance(payload, dict):
+            raise ValueError("malformed entry")
+    except (ValueError, TypeError, KeyError):
+        return None
+    return key, payload
+
+
+def _segment_sort_key(name: str) -> Tuple[int, str]:
+    # seg-<seq>-<writer>.jsonl -> (seq, writer); malformed names sort
+    # first so a stray file can never shadow real segments.
+    stem = name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    seq_text, _, writer = stem.partition("-")
+    try:
+        return int(seq_text), writer
+    except ValueError:
+        return -1, name
+
+
+def _is_segment_name(name: str) -> bool:
+    return name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)
+
+
+class _ShardState:
+    """Per-shard index plus incremental-scan bookkeeping."""
+
+    __slots__ = ("index", "source", "scanned", "corrupt_lines",
+                 "writer_path", "writer_handle", "writer_rank")
+
+    def __init__(self) -> None:
+        self.index: Dict[str, dict] = {}
+        #: key -> (seq, writer) rank of the segment its indexed payload
+        #: came from.  Incremental refreshes apply segment deltas in
+        #: directory order, not strictly in rank order (two writers'
+        #: active segments can both grow), so each entry is applied
+        #: only if its segment outranks the current source -- keeping
+        #: the live index's winner identical to a fresh full replay's.
+        self.source: Dict[str, Tuple[int, str]] = {}
+        #: segment path -> bytes consumed (always ends on a newline).
+        self.scanned: Dict[str, int] = {}
+        self.corrupt_lines = 0
+        self.writer_path: Optional[str] = None
+        self.writer_handle = None
+        self.writer_rank: Tuple[int, str] = (0, "")
+
+
+class ResultStore:
+    """Sharded append-only key -> JSON-payload store.
+
+    Keys are arbitrary strings (they are JSON-encoded inside each
+    entry, so separators and newlines in keys cannot corrupt the
+    framing) and naming is injective by construction: the only path
+    from a key to a record is the full-string index.
+    """
+
+    def __init__(self, root: str, shards: int = DEFAULT_SHARDS,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 create: bool = True) -> None:
+        """Open (and with ``create``, initialise) the store at ``root``.
+
+        ``create=False`` opens read-only-safely: a directory without a
+        ``STORE_FORMAT`` marker raises :class:`StoreError` instead of
+        being silently turned into a store -- inspection commands
+        (``store stats``/``verify``/``compact``) use this so they never
+        mutate a directory that is not a store (e.g. a legacy flat-file
+        cache awaiting migration).
+        """
+        self.root = root
+        self.segment_bytes = segment_bytes
+        if create:
+            os.makedirs(root, exist_ok=True)
+        self.shards = self._init_format(shards, create)
+        self._states: Dict[int, _ShardState] = {}
+        # Unique per instance so two writers never share a segment
+        # file: pid guards cross-process, the counter guards multiple
+        # stores in one process (common in tests and tooling).
+        self._writer_id = f"w{os.getpid()}-{next(_INSTANCE_COUNTER)}"
+
+    # -- format marker ------------------------------------------------------
+
+    def _init_format(self, shards: int, create: bool = True) -> int:
+        marker = os.path.join(self.root, FORMAT_FILE)
+        try:
+            with open(marker) as handle:
+                payload = json.load(handle)
+            if (payload.get("format") != FORMAT_NAME
+                    or payload.get("version") != FORMAT_VERSION):
+                raise StoreError(
+                    f"{marker} declares "
+                    f"{payload.get('format')!r} v{payload.get('version')!r}; "
+                    f"this build reads {FORMAT_NAME} v{FORMAT_VERSION}"
+                )
+            return int(payload["shards"])
+        except FileNotFoundError:
+            if not create:
+                raise StoreError(
+                    f"{self.root} is not a result store "
+                    f"(no {FORMAT_FILE} marker)"
+                ) from None
+        except (ValueError, TypeError, KeyError) as error:
+            raise StoreError(f"unreadable store marker {marker}: {error}")
+        atomic_write_text(marker, json.dumps({
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "shards": shards,
+        }, sort_keys=True) + "\n")
+        return shards
+
+    def has_legacy_entries(self) -> bool:
+        """True if the root holds flat pre-store ``*.json`` cache files
+        that have not yet been ingested (the migrator leaves a
+        ``LEGACY_MIGRATED`` marker behind, so kept-around legacy files
+        stop triggering the runner's migrate note)."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return False
+        if MIGRATED_MARKER in names:
+            return False
+        return any(
+            name.endswith(".json") and
+            os.path.isfile(os.path.join(self.root, name))
+            for name in names
+        )
+
+    # -- sharding -----------------------------------------------------------
+
+    def shard_of(self, key: str) -> int:
+        digest = hashlib.sha256(key.encode()).hexdigest()
+        return int(digest[:8], 16) % self.shards
+
+    def _shard_dir(self, shard: int) -> str:
+        return os.path.join(self.root, f"{_SHARD_PREFIX}{shard:02x}")
+
+    def _shard_segments(self, shard: int):
+        try:
+            names = os.listdir(self._shard_dir(shard))
+        except FileNotFoundError:
+            return []
+        return sorted(
+            (name for name in names if _is_segment_name(name)),
+            key=_segment_sort_key,
+        )
+
+    def _state(self, shard: int) -> _ShardState:
+        state = self._states.get(shard)
+        if state is None:
+            state = self._states[shard] = _ShardState()
+            self._refresh(shard, state)
+        return state
+
+    # -- scanning -----------------------------------------------------------
+
+    def _refresh(self, shard: int, state: _ShardState) -> None:
+        """Fold bytes appended since the last scan into the index.
+
+        Only complete lines (ending in ``\\n``) are consumed; a torn
+        tail stays pending, so a concurrent writer's in-flight append
+        becomes visible on a later refresh, once completed, and a
+        crashed writer's partial tail is ignored forever.
+        """
+        directory = self._shard_dir(shard)
+        for name in self._shard_segments(shard):
+            path = os.path.join(directory, name)
+            rank = _segment_sort_key(name)
+            consumed = state.scanned.get(path, 0)
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                # Compacted away under us; its live entries are in a
+                # later segment which this same loop replays.
+                state.scanned.pop(path, None)
+                continue
+            if size <= consumed:
+                continue
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(consumed)
+                    chunk = handle.read(size - consumed)
+            except OSError:
+                continue
+            complete = chunk.rfind(b"\n") + 1
+            for line in chunk[:complete].splitlines():
+                if not line.strip():
+                    continue
+                decoded = _decode_entry(line)
+                if decoded is None:
+                    state.corrupt_lines += 1
+                    continue
+                key, payload = decoded
+                if rank >= state.source.get(key, (-1, "")):
+                    state.index[key] = payload
+                    state.source[key] = rank
+            state.scanned[path] = consumed + complete
+
+    # -- public API ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """Return the payload stored under ``key``, or ``None``.
+
+        A miss triggers an incremental re-scan of the key's shard so
+        records published by concurrent writers are observed.
+        """
+        shard = self.shard_of(key)
+        state = self._state(shard)
+        payload = state.index.get(key)
+        if payload is None:
+            self._refresh(shard, state)
+            payload = state.index.get(key)
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Append ``key -> payload`` durably (flushed, atomic line)."""
+        shard = self.shard_of(key)
+        state = self._state(shard)
+        handle = self._writer(shard, state)
+        handle.write(_encode_entry(key, payload))
+        handle.flush()
+        # Our own appends go straight into the index; advance the scan
+        # offset so refreshes never re-parse them.  (Read-your-writes:
+        # the local index always reflects this put, even in the exotic
+        # case where a higher-ranked foreign segment holds the key --
+        # a later refresh of that segment would win, exactly as a
+        # fresh replay would.)
+        state.scanned[state.writer_path] = handle.tell()
+        state.index[key] = payload
+        state.source[key] = state.writer_rank
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def keys(self) -> Iterator[str]:
+        """All live keys (forces a full scan)."""
+        for shard in range(self.shards):
+            state = self._state(shard)
+            self._refresh(shard, state)
+            yield from state.index
+
+    def close(self) -> None:
+        for state in self._states.values():
+            if state.writer_handle is not None:
+                state.writer_handle.close()
+                state.writer_handle = None
+                state.writer_path = None
+
+    # -- writing ------------------------------------------------------------
+
+    def _writer(self, shard: int, state: _ShardState):
+        handle = state.writer_handle
+        if handle is not None:
+            try:
+                if handle.tell() < self.segment_bytes:
+                    return handle
+            except ValueError:       # closed under us
+                pass
+            handle.close()           # rotate: start a fresh segment
+            state.writer_handle = None
+            state.writer_path = None
+        directory = self._shard_dir(shard)
+        os.makedirs(directory, exist_ok=True)
+        segments = self._shard_segments(shard)
+        top = _segment_sort_key(segments[-1])[0] if segments else 0
+        seq = max(top, state.writer_rank[0]) + 1
+        name = f"{_SEGMENT_PREFIX}{seq:06d}-{self._writer_id}{_SEGMENT_SUFFIX}"
+        path = os.path.join(directory, name)
+        # "x" so a (pathological) name collision fails loudly instead
+        # of interleaving two writers in one file.
+        handle = open(path, "x", encoding="utf-8")
+        state.writer_path = path
+        state.writer_handle = handle
+        state.writer_rank = (seq, self._writer_id)
+        state.scanned[path] = 0
+        return handle
+
+    # -- maintenance --------------------------------------------------------
+
+    def _scan_shard_full(self, shard: int):
+        """Fresh full replay of one shard, independent of the index.
+
+        Returns ``({key: payload}, {key: {encoded variants}},
+        per-shard counters)``.  Used by stats/verify/compact so they
+        report the on-disk truth even if this instance's incremental
+        index is stale or this process wrote nothing.
+        """
+        directory = self._shard_dir(shard)
+        live: Dict[str, dict] = {}
+        payload_variants: Dict[str, set] = {}
+        entries = corrupt = torn = size_total = 0
+        segments = self._shard_segments(shard)
+        for name in segments:
+            path = os.path.join(directory, name)
+            try:
+                with open(path, "rb") as handle:
+                    data = handle.read()
+            except OSError:
+                continue
+            size_total += len(data)
+            complete = data.rfind(b"\n") + 1
+            if complete != len(data):
+                torn += 1
+            for line in data[:complete].splitlines():
+                if not line.strip():
+                    continue
+                decoded = _decode_entry(line)
+                if decoded is None:
+                    corrupt += 1
+                    continue
+                key, payload = decoded
+                entries += 1
+                live[key] = payload
+                payload_variants.setdefault(key, set()).add(
+                    _encode_entry(key, payload)
+                )
+        return live, payload_variants, {
+            "segments": len(segments), "entries": entries,
+            "corrupt": corrupt, "torn": torn, "bytes": size_total,
+        }
+
+    def stats(self) -> StoreStats:
+        """Aggregate on-disk shape (a full scan, same cost as verify)."""
+        return self.verify().stats
+
+    def verify(self) -> VerifyReport:
+        """Full-store consistency scan.
+
+        Fails (``.ok == False``) on corrupt interior lines or on any
+        key with multiple *distinct* payloads -- the simulator is
+        deterministic, so that means key aliasing or data corruption.
+        Torn tails and superseded duplicates are tolerated by design.
+        """
+        totals = {"segments": 0, "entries": 0, "corrupt": 0, "torn": 0,
+                  "bytes": 0}
+        live_keys = 0
+        conflicts: Dict[str, int] = {}
+        for shard in range(self.shards):
+            live, variants, counts = self._scan_shard_full(shard)
+            live_keys += len(live)
+            for name in totals:
+                totals[name] += counts[name]
+            for key, payloads in variants.items():
+                if len(payloads) > 1:
+                    conflicts[key] = len(payloads)
+        stats = StoreStats(
+            root=self.root, shards=self.shards,
+            segments=totals["segments"], entries=totals["entries"],
+            live_keys=live_keys,
+            superseded=totals["entries"] - live_keys,
+            corrupt_lines=totals["corrupt"], torn_tails=totals["torn"],
+            bytes=totals["bytes"],
+        )
+        return VerifyReport(stats=stats, conflicts=conflicts)
+
+    def compact(self) -> CompactionReport:
+        """GC pass: rewrite each shard to one duplicate-free segment.
+
+        The compacted segment is published atomically under a sequence
+        number above every segment it replaces, *then* the stale
+        segments are unlinked -- replay order makes a crash between
+        the two steps harmless (duplicates, not loss).  Run this
+        offline: a writer appending to a segment while compaction
+        replaces it would lose those appends.
+        """
+        self.close()
+        shards_compacted = segments_before = segments_after = 0
+        entries_dropped = bytes_before = bytes_after = 0
+        for shard in range(self.shards):
+            directory = self._shard_dir(shard)
+            segments = self._shard_segments(shard)
+            if not segments:
+                continue
+            live, _, counts = self._scan_shard_full(shard)
+            segments_before += counts["segments"]
+            bytes_before += counts["bytes"]
+            dead = (counts["entries"] - len(live)) + counts["corrupt"]
+            if len(segments) == 1 and dead == 0 and counts["torn"] == 0:
+                # Already compact; leave the segment untouched.
+                segments_after += 1
+                bytes_after += counts["bytes"]
+                continue
+            shards_compacted += 1
+            entries_dropped += dead
+            top_seq = _segment_sort_key(segments[-1])[0]
+            state = self._states.get(shard)
+            if state is not None:
+                # The full replay is the on-disk truth (it may include
+                # entries our incremental index hasn't consumed, and
+                # excludes anything about to be deleted); reset the
+                # shard's live index to it wholesale.
+                state.index = dict(live)
+                state.source = {}
+            if live:
+                writer = f"{self._writer_id}-compact"
+                name = (f"{_SEGMENT_PREFIX}{top_seq + 1:06d}-"
+                        f"{writer}{_SEGMENT_SUFFIX}")
+                path = os.path.join(directory, name)
+                text = "".join(
+                    _encode_entry(key, payload)
+                    for key, payload in live.items()
+                )
+                atomic_write_text(path, text)
+                segments_after += 1
+                bytes_after += len(text.encode())
+                if state is not None:
+                    # The new segment's content is now in our index;
+                    # never re-scan it.
+                    state.scanned[path] = len(text.encode())
+                    rank = (top_seq + 1, writer)
+                    state.source = {key: rank for key in live}
+            for name in segments:
+                path = os.path.join(directory, name)
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+                if state is not None:
+                    state.scanned.pop(path, None)
+        return CompactionReport(
+            shards_compacted=shards_compacted,
+            segments_before=segments_before,
+            segments_after=segments_after,
+            entries_dropped=entries_dropped,
+            bytes_before=bytes_before,
+            bytes_after=bytes_after,
+        )
+
+
+def _counter():
+    value = 0
+    while True:
+        yield value
+        value += 1
+
+
+_INSTANCE_COUNTER = _counter()

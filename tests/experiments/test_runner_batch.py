@@ -12,6 +12,15 @@ from repro.experiments.runner import default_cache_dir
 SMALL = GPUConfig(max_resident_warps=8, active_warps=4)
 
 
+def _die_on_kmeans_batch(requests):
+    """Module-level (picklable) pool-worker batch fn that hard-kills
+    the worker when it draws a kmeans chunk."""
+    from repro.experiments.runner import execute_request_with_telemetry
+    if any(request.workload == "kmeans" for request in requests):
+        os._exit(3)
+    return [execute_request_with_telemetry(request) for request in requests]
+
+
 def _raise_unknown_workload(request):
     """Module-level (picklable) stand-in for a worker-side resolution
     failure, as a spawn-start worker without runtime registrations
@@ -73,40 +82,57 @@ class TestSimulateMany:
         assert warm.stats.disk_hits == 1
 
 
-class TestCacheHardening:
-    def _entry_path(self, runner, request):
-        return runner._cache_path(runner.request_key(request))
+def _segment_paths(root):
+    paths = []
+    for name in sorted(os.listdir(root)):
+        shard_dir = os.path.join(root, name)
+        if name.startswith("shard-") and os.path.isdir(shard_dir):
+            paths.extend(
+                os.path.join(shard_dir, segment)
+                for segment in sorted(os.listdir(shard_dir))
+                if segment.endswith(".jsonl")
+            )
+    return paths
 
-    def test_corrupt_entry_deleted_and_regenerated(self, tmp_path):
+
+class TestCacheHardening:
+    def test_truncated_store_tail_regenerated(self, tmp_path):
+        """A record torn by a mid-append crash is invisible; the next
+        run re-simulates and the regenerated record matches."""
         request = SimRequest("btree", "BL", SMALL)
         first = Runner(cache_dir=str(tmp_path))
         record = first.simulate(request.workload, request.policy, SMALL)
-        path = self._entry_path(first, request)
-        # Truncate the entry as a pre-atomic-write crash would have.
-        with open(path, "w") as handle:
-            handle.write('{"workload": "btr')
+        for path in _segment_paths(str(tmp_path)):
+            with open(path, "rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                handle.truncate(handle.tell() - 10)    # tear the tail
         fresh = Runner(cache_dir=str(tmp_path))
         assert fresh._load(fresh.request_key(request)) is None
-        assert not os.path.exists(path)  # corrupt entry dropped
         regenerated = fresh.simulate(request.workload, request.policy, SMALL)
         assert regenerated == record
-        with open(path) as handle:
-            assert json.load(handle) == asdict(record)
+        assert fresh.stats.simulated == 1
 
-    def test_stale_schema_entry_deleted(self, tmp_path):
+    def test_stale_schema_entry_treated_as_miss_and_superseded(
+            self, tmp_path):
         request = SimRequest("btree", "BL", SMALL)
         runner = Runner(cache_dir=str(tmp_path))
-        path = self._entry_path(runner, request)
-        with open(path, "w") as handle:
-            json.dump({"workload": "btree", "unknown_field": 1}, handle)
-        assert runner._load(runner.request_key(request)) is None
-        assert not os.path.exists(path)
+        key = runner.request_key(request)
+        runner.result_store.put(
+            key, {"workload": "btree", "unknown_field": 1}
+        )
+        assert runner._load(key) is None
+        record = runner.simulate(request.workload, request.policy, SMALL)
+        # The re-simulated record shadows the stale entry for readers.
+        fresh = Runner(cache_dir=str(tmp_path))
+        assert fresh._load(key) == record
 
     def test_store_leaves_no_temp_files(self, tmp_path):
         runner = Runner(cache_dir=str(tmp_path))
         runner.simulate_many(small_grid(), jobs=2)
         leftovers = [
-            name for name in os.listdir(tmp_path)
+            name
+            for _, _, names in os.walk(tmp_path)
+            for name in names
             if name.startswith(".write-")
         ]
         assert leftovers == []
@@ -136,8 +162,9 @@ class TestCacheKeyFingerprint:
         assert before != after
         assert after.endswith("__kdeadbeefdeadbeef")
 
-    def test_file_workload_key_and_entry_path(self, tmp_path):
-        """Path-named workloads produce filesystem-safe cache entries."""
+    def test_file_workload_key_served_from_store(self, tmp_path):
+        """Path-named workloads (keys holding a whole filesystem path)
+        round-trip through the store under their full key."""
         from repro.ir import save_kernel
         from repro.workloads import get_kernel
         path = str(tmp_path / "nested" / "dir")
@@ -147,12 +174,38 @@ class TestCacheKeyFingerprint:
         runner = Runner(cache_dir=str(tmp_path / "cache"))
         record = runner.simulate(kernel_path, "BL", SMALL)
         assert record.workload == kernel_path
-        entry = runner._cache_path(
-            runner.request_key(SimRequest(kernel_path, "BL", SMALL))
+        key = runner.request_key(SimRequest(kernel_path, "BL", SMALL))
+        assert runner.result_store.get(key) == asdict(record)
+        warm = Runner(cache_dir=str(tmp_path / "cache"))
+        assert warm.simulate(kernel_path, "BL", SMALL) == record
+        assert warm.stats.simulated == 0
+
+    def test_legacy_aliasing_keys_get_distinct_records(self, tmp_path,
+                                                       monkeypatch):
+        """Regression for the lossy-sanitiser collision: a file-backed
+        workload whose path contains '/' and a workload whose *name* is
+        that path with '_' produce different keys AND different store
+        records (the legacy cache folded both onto one file)."""
+        from repro.store import legacy_entry_name
+        runner = Runner(cache_dir=str(tmp_path))
+        slashed = SimRequest("a/b", "BL", SMALL)
+        underscored = SimRequest("a_b", "BL", SMALL)
+        monkeypatch.setattr(
+            "repro.experiments.runner.workload_fingerprint",
+            lambda name: "deadbeef",
         )
-        assert os.path.exists(entry)
-        assert os.path.basename(entry).count("/") == 0
-        assert len(os.path.basename(entry)) <= 185
+        key_slashed = runner.request_key(slashed)
+        key_underscored = runner.request_key(underscored)
+        assert key_slashed != key_underscored
+        # The legacy sanitiser folded exactly these two keys onto one
+        # filename -- the collision this store exists to prevent...
+        assert legacy_entry_name(key_slashed) == \
+            legacy_entry_name(key_underscored)
+        # ...while the store keeps them apart.
+        runner.result_store.put(key_slashed, {"ipc": 1.0})
+        runner.result_store.put(key_underscored, {"ipc": 2.0})
+        assert runner.result_store.get(key_slashed) == {"ipc": 1.0}
+        assert runner.result_store.get(key_underscored) == {"ipc": 2.0}
 
 
 class TestContentKeyedStore:
@@ -180,16 +233,16 @@ class TestContentKeyedStore:
         )
         runner.simulate("btree", "BL", SMALL)
         expected = f"{key.rsplit('__k', 1)[0]}__kfeedfacefeedface"
-        assert os.path.exists(runner._cache_path(expected))
-        assert not os.path.exists(runner._cache_path(key))
+        assert runner.result_store.get(expected) == asdict(record)
+        assert runner.result_store.get(key) is None
 
     def test_normal_runs_store_under_request_key(self, tmp_path):
         runner = Runner(cache_dir=str(tmp_path))
         request = SimRequest("btree", "BL", SMALL)
-        runner.simulate("btree", "BL", SMALL)
-        assert os.path.exists(
-            runner._cache_path(runner.request_key(request))
-        )
+        record = runner.simulate("btree", "BL", SMALL)
+        assert runner.result_store.get(
+            runner.request_key(request)
+        ) == asdict(record)
 
     def test_worker_resolution_failure_is_actionable(self, tmp_path,
                                                      monkeypatch):
@@ -225,6 +278,74 @@ class TestDefaultCacheDir:
         monkeypatch.delenv("LTRF_CACHE_DIR", raising=False)
         monkeypatch.chdir(tmp_path)
         assert default_cache_dir() == str(tmp_path / ".ltrf_cache")
+
+    def test_empty_env_var_is_a_loud_error(self, monkeypatch):
+        """Empty-string is distinguished from absent: it almost always
+        means a misquoted export, and must not silently fall back."""
+        import pytest
+        monkeypatch.setenv("LTRF_CACHE_DIR", "")
+        with pytest.raises(ValueError, match="set but empty"):
+            default_cache_dir()
+        with pytest.raises(ValueError, match="set but empty"):
+            Runner()                # honoured at construction time
+        # Explicit cache_dir arguments bypass the env entirely.
+        assert Runner(cache_dir=None).cache_dir is None
+
+
+class TestStrictConfigFingerprint:
+    """_config_fingerprint must never silently collapse two configs."""
+
+    #: Known-good fingerprints.  If these change, every existing store
+    #: entry stops matching (a silent full-cache invalidation) -- only
+    #: change them deliberately, with a migration story.
+    PINNED = {
+        "baseline": "75964082a0b1496d",
+        "table2#6": "49633f26b0653250",
+        "sweep3.0": "e1158dbab8a43e40",
+    }
+
+    def test_pinned_fingerprints_stable(self):
+        from repro.experiments.runner import (
+            _config_fingerprint,
+            baseline_config,
+            sweep_config,
+            table2_config,
+        )
+        assert _config_fingerprint(baseline_config()) == \
+            self.PINNED["baseline"]
+        assert _config_fingerprint(table2_config(6)) == \
+            self.PINNED["table2#6"]
+        assert _config_fingerprint(sweep_config(3.0)) == \
+            self.PINNED["sweep3.0"]
+
+    def test_unencodable_field_type_raises(self):
+        """The seed encoder fell back to str() for unknown types, so
+        distinct objects with one string form shared a fingerprint;
+        now they raise at key-computation time."""
+        import dataclasses
+
+        import pytest
+        from repro.experiments.runner import _config_fingerprint
+
+        class Opaque:
+            def __init__(self, payload):
+                self.payload = payload
+
+            def __str__(self):
+                return "opaque"      # collapses every instance
+
+        config_a = dataclasses.replace(SMALL, name=Opaque("a"))
+        config_b = dataclasses.replace(SMALL, name=Opaque("b"))
+        with pytest.raises(TypeError, match="name.*Opaque"):
+            _config_fingerprint(config_a)
+        with pytest.raises(TypeError, match="refusing to fall back"):
+            _config_fingerprint(config_b)
+
+    def test_distinct_configs_distinct_fingerprints(self):
+        from repro.experiments.runner import _config_fingerprint
+        assert _config_fingerprint(SMALL) != _config_fingerprint(
+            SMALL.scaled(mrf_latency_multiple=2.0)
+        )
 
 
 class TestTelemetry:
@@ -278,9 +399,7 @@ class TestTelemetry:
         runner = Runner(cache_dir=str(tmp_path))
         request = SimRequest("btree", "BL", SMALL)
         runner.simulate("btree", "BL", SMALL)
-        path = runner._cache_path(runner.request_key(request))
-        with open(path) as handle:
-            payload = json.load(handle)
+        payload = runner.result_store.get(runner.request_key(request))
         assert set(payload) == {
             "workload", "policy", "ipc", "cycles", "instructions",
             "prefetch_operations", "resident_warps", "activations",
@@ -382,3 +501,175 @@ class TestDispatchChunks:
         chunks = _dispatch_chunks(items, workers=4)
         assert len(chunks) >= 4
         assert max(len(chunk) for chunk in chunks) <= 8
+
+
+class _ScriptedPool:
+    """Drop-in ProcessPoolExecutor whose behaviour is scripted per
+    instantiation: each entry of ``plan`` governs one pool and says how
+    many submitted chunks complete before the pool "breaks" (None =
+    never breaks).  Chunks run inline, so results are real."""
+
+    plan = []
+    instances = 0
+
+    def __init__(self, max_workers):
+        type(self).instances += 1
+        index = type(self).instances - 1
+        self._complete_before_break = (
+            type(self).plan[index] if index < len(type(self).plan)
+            else None
+        )
+        self._submitted = 0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+    def submit(self, fn, *args):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+        future = Future()
+        limit = self._complete_before_break
+        if limit is not None and self._submitted >= limit:
+            future.set_exception(
+                BrokenProcessPool("a child process terminated abruptly")
+            )
+        else:
+            try:
+                future.set_result(fn(*args))
+            except BaseException as error:   # delivered via the future
+                future.set_exception(error)
+        self._submitted += 1
+        return future
+
+
+class TestResumableSweeps:
+    """Mid-sweep failures must never lose flushed records."""
+
+    def grid(self):
+        return [
+            SimRequest(workload, policy, SMALL)
+            for workload in ("btree", "kmeans")
+            for policy in ("BL", "RFC", "LTRF")
+        ]
+
+    def test_killed_sweep_resumes_with_zero_repeat_simulations(
+            self, tmp_path):
+        grid = self.grid()
+        killed = Runner(cache_dir=str(tmp_path))
+        killed.simulate_many(grid[:4])      # "killed" after 4 flushed
+        resumed = Runner(cache_dir=str(tmp_path))
+        records = resumed.simulate_many(grid)
+        assert resumed.stats.simulated == len(grid) - 4
+        assert resumed.stats.disk_hits == 4
+        direct = Runner(cache_dir=None).simulate_many(grid)
+        assert records == direct
+
+    def test_broken_pool_redispatches_remainder_once(self, tmp_path,
+                                                     monkeypatch):
+        import repro.experiments.runner as runner_module
+        _ScriptedPool.plan = [1]    # pool 1: one chunk, then break
+        _ScriptedPool.instances = 0
+        monkeypatch.setattr(
+            runner_module, "ProcessPoolExecutor", _ScriptedPool
+        )
+        grid = self.grid()
+        runner = Runner(cache_dir=str(tmp_path))
+        records = runner.simulate_many(grid, jobs=2)
+        assert _ScriptedPool.instances == 2     # fresh pool for retry
+        assert runner.stats.pool_retries == 1
+        assert runner.stats.simulated == len(grid)
+        assert records == Runner(cache_dir=None).simulate_many(grid)
+
+    def test_double_pool_failure_is_actionable_and_resumable(
+            self, tmp_path, monkeypatch):
+        import pytest
+        import repro.experiments.runner as runner_module
+        _ScriptedPool.plan = [1, 0]   # retry pool breaks immediately
+        _ScriptedPool.instances = 0
+        grid = self.grid()
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(
+                runner_module, "ProcessPoolExecutor", _ScriptedPool
+            )
+            runner = Runner(cache_dir=str(tmp_path))
+            with pytest.raises(RuntimeError) as excinfo:
+                runner.simulate_many(grid, jobs=2)
+        message = str(excinfo.value)
+        assert "flushed to the result store" in message
+        assert "resumes" in message
+        assert "jobs=1" in message
+        flushed = runner.stats.simulated
+        assert flushed > 0                      # chunk 1 completed...
+        assert flushed < len(grid)              # ...but not the grid
+        # The flushed records survived: a rerun resumes, repeating none.
+        resumed = Runner(cache_dir=str(tmp_path))
+        records = resumed.simulate_many(grid)
+        assert resumed.stats.disk_hits == flushed
+        assert resumed.stats.simulated == len(grid) - flushed
+        assert records == Runner(cache_dir=None).simulate_many(grid)
+
+    def test_unknown_workload_drains_completed_chunks_first(
+            self, tmp_path, monkeypatch):
+        """A worker-side resolution failure must not discard other
+        chunks' completed results: they are flushed before the
+        actionable error raises."""
+        import pytest
+        import repro.experiments.runner as runner_module
+        from repro.workloads import UnknownWorkloadError
+
+        real_execute = runner_module.execute_batch
+
+        def fail_kmeans_chunk(requests):
+            if any(r.workload == "kmeans" for r in requests):
+                raise UnknownWorkloadError("kmeans", [], [])
+            return real_execute(requests)
+
+        _ScriptedPool.plan = [None]          # never breaks; fn may raise
+        _ScriptedPool.instances = 0
+        monkeypatch.setattr(
+            runner_module, "ProcessPoolExecutor", _ScriptedPool
+        )
+        monkeypatch.setattr(
+            runner_module, "execute_batch", fail_kmeans_chunk
+        )
+        grid = self.grid()
+        runner = Runner(cache_dir=str(tmp_path))
+        with pytest.raises(RuntimeError, match="per-process"):
+            runner.simulate_many(grid, jobs=2)
+        btree_points = sum(1 for r in grid if r.workload == "btree")
+        assert runner.stats.simulated == btree_points
+        resumed = Runner(cache_dir=str(tmp_path))
+        resumed.simulate_many(
+            [r for r in grid if r.workload == "btree"]
+        )
+        assert resumed.stats.simulated == 0   # all flushed, none lost
+
+    def test_real_worker_death_recovers_other_chunks(self, tmp_path):
+        """Fork-start integration check: a worker hard-killed by
+        os._exit takes down the pool, yet chunks completed before the
+        death are flushed and the error is the actionable one."""
+        import multiprocessing
+
+        import pytest
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("needs fork start (monkeypatched worker fn)")
+        import repro.experiments.runner as runner_module
+        grid = self.grid()
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(
+                runner_module, "execute_batch", _die_on_kmeans_batch
+            )
+            runner = Runner(cache_dir=str(tmp_path))
+            with pytest.raises(RuntimeError, match="result store"):
+                runner.simulate_many(grid, jobs=2)
+        assert runner.stats.pool_retries == 1
+        # Everything the pool completed before dying was flushed; the
+        # resumed sweep simulates only the rest.
+        resumed = Runner(cache_dir=str(tmp_path))
+        records = resumed.simulate_many(grid)
+        assert resumed.stats.disk_hits == runner.stats.simulated
+        assert resumed.stats.simulated == len(grid) - runner.stats.simulated
+        assert records == Runner(cache_dir=None).simulate_many(grid)

@@ -1,0 +1,43 @@
+"""The CI migration smoke must itself stay runnable and honest."""
+
+import importlib.util
+import os
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__)))),
+    "scripts", "migration_smoke.py",
+)
+_spec = importlib.util.spec_from_file_location("migration_smoke", _SCRIPT)
+migration_smoke = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(migration_smoke)
+
+
+def test_smoke_passes_on_healthy_migration(capsys):
+    assert migration_smoke.run(workload_count=1) == 0
+    out = capsys.readouterr().out
+    assert "byte-identical, zero re-simulations" in out
+    assert "OK: migration preserves figure tables" in out
+
+
+def test_smoke_fails_when_migration_drops_records(capsys, monkeypatch):
+    """If the migrator ingests nothing, the re-render must simulate --
+    and the smoke must fail loudly rather than 'pass' vacuously."""
+    import repro.cli as cli_module
+    from repro.store import MigrationReport
+
+    monkeypatch.setattr(
+        cli_module, "migrate_legacy_dir",
+        lambda directory, store, delete_legacy=False: MigrationReport(
+            source=directory
+        ),
+    )
+    assert migration_smoke.run(workload_count=1) == 1
+    assert "FAIL: migrated store missed" in capsys.readouterr().out
+
+
+def test_cli_entry_parses_workload_flag(monkeypatch):
+    monkeypatch.setattr(
+        migration_smoke, "run", lambda workload_count: workload_count
+    )
+    assert migration_smoke.main(["--workloads", "7"]) == 7

@@ -1,0 +1,222 @@
+"""Tests for legacy flat-file cache migration."""
+
+import hashlib
+import json
+import os
+
+from repro.arch import GPUConfig
+from repro.experiments import Runner
+from repro.store import (
+    ResultStore,
+    iter_legacy_entries,
+    legacy_entry_name,
+    migrate_legacy_dir,
+    write_legacy_entry,
+)
+
+SMALL = GPUConfig(max_resident_warps=8, active_warps=4)
+
+
+def _payload(workload="btree", policy="BL", **extra):
+    payload = {"workload": workload, "policy": policy, "ipc": 1.0}
+    payload.update(extra)
+    return payload
+
+
+class TestLegacyNaming:
+    def test_matches_seed_sanitiser(self):
+        key = "a/b__LTRF+__cfg__0__kf"
+        assert legacy_entry_name(key) == "a_b__LTRFplus__cfg__0__kf.json"
+
+    def test_long_keys_hash(self):
+        key = ("x" * 200) + "__BL__cfg__0__kf"
+        name = legacy_entry_name(key)
+        safe = key.replace("/", "_").replace("+", "plus")
+        assert name == hashlib.sha1(safe.encode()).hexdigest() + ".json"
+
+
+class TestMigration:
+    def test_reconstructs_plain_keys(self, tmp_path):
+        legacy = str(tmp_path / "legacy")
+        key = "btree__BL__0123abcd__0__kfeedface"
+        write_legacy_entry(legacy, key, _payload())
+        store = ResultStore(str(tmp_path / "store"))
+        report = migrate_legacy_dir(legacy, store)
+        assert report.migrated == 1
+        assert report.skipped == 0
+        assert store.get(key) == _payload()
+
+    def test_reconstructs_mangled_policy_and_path_workload(self, tmp_path):
+        """The two lossy substitutions (/ and +) round-trip through the
+        payload's exact workload/policy strings."""
+        legacy = str(tmp_path / "legacy")
+        key = "dir/sub/bt.kernel.json__LTRF+__aa__7__k123abc"
+        payload = _payload(workload="dir/sub/bt.kernel.json",
+                           policy="LTRF+")
+        write_legacy_entry(legacy, key, payload)
+        store = ResultStore(str(tmp_path / "store"))
+        report = migrate_legacy_dir(legacy, store)
+        assert report.migrated == 1
+        assert store.get(key) == payload
+
+    def test_aliased_file_migrates_to_the_key_actually_stored(self,
+                                                              tmp_path):
+        """Legacy aliasing victim: workloads 'a/b' and 'a_b' shared one
+        file.  Whatever payload survived migrates under *its own* true
+        key; the other key correctly stays a miss (re-simulated), never
+        served the wrong record."""
+        legacy = str(tmp_path / "legacy")
+        slashed_key = "a/b__BL__cfg0__0__kdead"
+        underscore_key = "a_b__BL__cfg0__0__kdead"
+        assert legacy_entry_name(slashed_key) == \
+            legacy_entry_name(underscore_key)
+        write_legacy_entry(legacy, slashed_key,
+                           _payload(workload="a/b"))
+        store = ResultStore(str(tmp_path / "store"))
+        migrate_legacy_dir(legacy, store)
+        assert store.get(slashed_key) == _payload(workload="a/b")
+        assert store.get(underscore_key) is None
+
+    def test_hashed_names_skipped(self, tmp_path):
+        legacy = str(tmp_path / "legacy")
+        key = ("x" * 200) + "__BL__cfg__0__kf"
+        write_legacy_entry(legacy, key, _payload(workload="x" * 200))
+        store = ResultStore(str(tmp_path / "store"))
+        report = migrate_legacy_dir(legacy, store)
+        assert report.migrated == 0
+        assert report.skipped_hashed == 1
+        assert list(store.keys()) == []
+
+    def test_unrecognized_files_skipped_and_reported(self, tmp_path):
+        legacy = tmp_path / "legacy"
+        legacy.mkdir()
+        (legacy / "not-a-key.json").write_text(json.dumps(_payload()))
+        (legacy / "corrupt__BL__c__0__kf.json").write_text("{truncated")
+        (legacy / "no-fields__BL__c__0__kf.json").write_text(
+            json.dumps({"ipc": 1.0})
+        )
+        store = ResultStore(str(tmp_path / "store"))
+        report = migrate_legacy_dir(str(legacy), store)
+        assert report.migrated == 0
+        assert report.skipped_unrecognized == 3
+        assert sorted(report.unrecognized_names) == [
+            "corrupt__BL__c__0__kf.json",
+            "no-fields__BL__c__0__kf.json",
+            "not-a-key.json",
+        ]
+        # Skipped files are never deleted, even with delete_legacy
+        # (the migrator only adds its LEGACY_MIGRATED marker).
+        migrate_legacy_dir(str(legacy), store, delete_legacy=True)
+        names = {path.name for path in legacy.iterdir()}
+        assert names == {
+            "corrupt__BL__c__0__kf.json",
+            "no-fields__BL__c__0__kf.json",
+            "not-a-key.json",
+            "LEGACY_MIGRATED",
+        }
+
+    def test_in_place_migration_of_store_root(self, tmp_path):
+        """`store migrate` with no legacy dir ingests the store root
+        itself -- the upgrade path for a pre-store .ltrf_cache."""
+        root = str(tmp_path)
+        key = "btree__BL__0123abcd__0__kfeedface"
+        write_legacy_entry(root, key, _payload())
+        store = ResultStore(root)
+        report = migrate_legacy_dir(root, store, delete_legacy=True)
+        assert report.migrated == 1
+        assert store.get(key) == _payload()
+        assert not store.has_legacy_entries()
+        # The store marker must never be treated as a legacy entry.
+        assert os.path.exists(os.path.join(root, "STORE_FORMAT"))
+
+    def test_idempotent_and_verify_clean(self, tmp_path):
+        legacy = str(tmp_path / "legacy")
+        key = "btree__BL__0123abcd__0__kfeedface"
+        write_legacy_entry(legacy, key, _payload())
+        store = ResultStore(str(tmp_path / "store"))
+        migrate_legacy_dir(legacy, store)
+        migrate_legacy_dir(legacy, store)
+        assert store.verify().ok         # identical payloads: no conflict
+        assert store.stats().live_keys == 1
+
+    def test_iter_reports_hashed_as_unrecoverable(self, tmp_path):
+        legacy = str(tmp_path)
+        long_key = ("y" * 200) + "__BL__cfg__0__kf"
+        write_legacy_entry(legacy, long_key, _payload())
+        entries = list(iter_legacy_entries(legacy))
+        assert len(entries) == 1
+        name, key, payload = entries[0]
+        assert key is None and payload is None
+
+    def test_missing_directory_yields_nothing(self, tmp_path):
+        assert list(iter_legacy_entries(str(tmp_path / "nope"))) == []
+
+
+class TestRunnerIntegration:
+    """Migration end-to-end through the Runner and a rendered figure."""
+
+    def test_migrated_store_serves_runner_without_resimulation(
+            self, tmp_path):
+        source = Runner(cache_dir=str(tmp_path / "source"))
+        record = source.simulate("btree", "LTRF+", SMALL)
+        legacy = str(tmp_path / "legacy")
+        for key in source.result_store.keys():
+            write_legacy_entry(legacy, key, source.result_store.get(key))
+        dest = ResultStore(str(tmp_path / "dest"))
+        report = migrate_legacy_dir(legacy, dest)
+        dest.close()
+        assert report.migrated == 1
+        warm = Runner(cache_dir=str(tmp_path / "dest"))
+        assert warm.simulate("btree", "LTRF+", SMALL) == record
+        assert warm.stats.simulated == 0
+        assert warm.stats.disk_hits == 1
+
+    def test_rendered_table_byte_identical_after_migration(self, tmp_path):
+        """The acceptance criterion, at test scale: a figure table
+        rendered from a migrated store matches the original rendering
+        byte for byte, with zero re-simulation."""
+        from repro.experiments.capacity import fig3
+        workloads = ["btree", "kmeans"]
+        source = Runner(cache_dir=str(tmp_path / "source"))
+        original = fig3(source, workloads).render()
+        legacy = str(tmp_path / "legacy")
+        for key in source.result_store.keys():
+            write_legacy_entry(legacy, key, source.result_store.get(key))
+        dest = ResultStore(str(tmp_path / "migrated"))
+        migrate_legacy_dir(legacy, dest)
+        dest.close()
+        migrated_runner = Runner(cache_dir=str(tmp_path / "migrated"))
+        migrated = fig3(migrated_runner, workloads).render()
+        assert migrated == original
+        assert migrated_runner.stats.simulated == 0
+
+    def test_runner_warns_once_about_legacy_entries(self, tmp_path,
+                                                    capsys):
+        import repro.experiments.runner as runner_module
+        root = str(tmp_path)
+        write_legacy_entry(
+            root, "btree__BL__0123abcd__0__kfeedface", _payload()
+        )
+        runner_module._LEGACY_WARNED.discard(root)
+        Runner(cache_dir=root)
+        err = capsys.readouterr().err
+        assert "legacy" in err and "store migrate" in err
+        Runner(cache_dir=root)                      # second open: silent
+        assert capsys.readouterr().err == ""
+
+    def test_no_warning_after_in_place_migration_keeping_files(
+            self, tmp_path, capsys):
+        """The README default keeps legacy files after `store migrate`;
+        the migrator's marker must silence the note from then on."""
+        import repro.experiments.runner as runner_module
+        root = str(tmp_path)
+        write_legacy_entry(
+            root, "btree__BL__0123abcd__0__kfeedface", _payload()
+        )
+        store = ResultStore(root)
+        migrate_legacy_dir(root, store)             # files kept
+        store.close()
+        assert not store.has_legacy_entries()
+        runner_module._LEGACY_WARNED.discard(root)
+        Runner(cache_dir=root)
+        assert capsys.readouterr().err == ""

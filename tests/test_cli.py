@@ -73,6 +73,108 @@ def _printed_ipc(output):
     raise AssertionError(f"no IPC line in {output!r}")
 
 
+class TestStoreCommand:
+    """The `store stats|verify|compact|migrate` maintenance surface."""
+
+    def _populated(self, tmp_path):
+        from repro.arch import GPUConfig
+        from repro.experiments import Runner
+        root = str(tmp_path / "store")
+        runner = Runner(cache_dir=root)
+        runner.simulate(
+            "btree", "BL", GPUConfig(max_resident_warps=8, active_warps=4)
+        )
+        runner.result_store.close()
+        return root
+
+    def test_stats(self, capsys, tmp_path):
+        root = self._populated(tmp_path)
+        assert main(["store", "stats", "--dir", root]) == 0
+        out = capsys.readouterr().out
+        assert "1 live key(s)" in out and "ltrf-store v1" in out
+
+    def test_verify_ok(self, capsys, tmp_path):
+        root = self._populated(tmp_path)
+        assert main(["store", "verify", "--dir", root]) == 0
+        assert "verdict     OK" in capsys.readouterr().out
+
+    def test_verify_fails_on_conflict(self, capsys, tmp_path):
+        from repro.store import ResultStore
+        root = self._populated(tmp_path)
+        store = ResultStore(root)
+        (key,) = store.keys()
+        store.put(key, {"workload": "btree", "tampered": True})
+        store.close()
+        assert main(["store", "verify", "--dir", root]) == 1
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "CONFLICTS" in out
+
+    def test_compact(self, capsys, tmp_path):
+        root = self._populated(tmp_path)
+        assert main(["store", "compact", "--dir", root]) == 0
+        assert "compacted" in capsys.readouterr().out
+
+    def test_migrate_in_place(self, capsys, tmp_path):
+        from repro.store import ResultStore, write_legacy_entry
+        root = str(tmp_path / "upgraded")
+        write_legacy_entry(
+            root, "btree__BL__0123abcd__0__kfeedface",
+            {"workload": "btree", "policy": "BL", "ipc": 1.0},
+        )
+        assert main(["store", "migrate", "--dir", root]) == 0
+        assert "migrated 1 legacy entr(ies)" in capsys.readouterr().out
+        store = ResultStore(root)
+        assert store.get("btree__BL__0123abcd__0__kfeedface") is not None
+
+    def test_stats_on_missing_store(self, capsys, tmp_path):
+        assert main(["store", "stats", "--dir",
+                     str(tmp_path / "nothing-here")]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_inspection_never_initialises_a_store(self, capsys, tmp_path):
+        """`store stats`/`verify` on a directory that is not a store
+        (e.g. a legacy cache awaiting migration) must not write a
+        STORE_FORMAT marker there, and must point at `store migrate`
+        instead of reporting an empty store as OK."""
+        import os
+
+        from repro.store import write_legacy_entry
+        root = str(tmp_path / "legacy-only")
+        write_legacy_entry(
+            root, "btree__BL__0123abcd__0__kfeedface",
+            {"workload": "btree", "policy": "BL", "ipc": 1.0},
+        )
+        for command in ("stats", "verify", "compact"):
+            assert main(["store", command, "--dir", root]) == 2
+            err = capsys.readouterr().err
+            assert "not a result store" in err
+            assert "store migrate" in err
+        assert not os.path.exists(os.path.join(root, "STORE_FORMAT"))
+
+    def test_stats_notes_unmigrated_legacy_files(self, capsys, tmp_path):
+        from repro.store import write_legacy_entry
+        root = self._populated(tmp_path)
+        write_legacy_entry(
+            root, "kmeans__BL__0123abcd__0__kfeedface",
+            {"workload": "kmeans", "policy": "BL", "ipc": 1.0},
+        )
+        assert main(["store", "stats", "--dir", root]) == 0
+        out = capsys.readouterr().out
+        assert "NOT included above" in out and "store migrate" in out
+
+    def test_migrate_missing_legacy_dir(self, capsys, tmp_path):
+        assert main(["store", "migrate", "--dir", str(tmp_path),
+                     str(tmp_path / "gone")]) == 2
+        assert "no such legacy cache directory" in capsys.readouterr().err
+
+    def test_empty_cache_env_fails_cleanly(self, capsys, monkeypatch):
+        monkeypatch.setenv("LTRF_CACHE_DIR", "")
+        assert main(["store", "stats"]) == 2
+        assert "set but empty" in capsys.readouterr().err
+        assert main(["simulate", "btree", "--policy", "BL"]) == 2
+        assert "set but empty" in capsys.readouterr().err
+
+
 class TestWorkloadFrontend:
     """Registry-backed workload resolution on the CLI."""
 
