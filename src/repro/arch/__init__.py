@@ -11,6 +11,27 @@ from repro.arch.config import (
 )
 from repro.arch.gpu import GPU, GPUResult
 from repro.arch.main_register_file import MainRegisterFile, MRFStats
+from repro.arch.registry import (
+    ARCH_FILE_SUFFIX,
+    ArchFileProvider,
+    ArchProvider,
+    ArchRegistry,
+    UnknownArchError,
+    arch_config,
+    default_arch_registry,
+    is_arch_file_name,
+)
+from repro.arch.serialize import (
+    ArchSerializationError,
+    arch_fingerprint,
+    arch_from_dict,
+    arch_to_dict,
+    dumps_arch,
+    fingerprint_of_arch,
+    load_arch,
+    loads_arch,
+    save_arch,
+)
 from repro.arch.memory import AccessResult, MemoryHierarchy, MemoryStats
 from repro.arch.rf_cache import RegisterFileCache, RFCStats
 from repro.arch.sm import SimulationResult, StreamingMultiprocessor
@@ -18,7 +39,12 @@ from repro.arch.warp import Warp, WarpState
 from repro.arch.wcb import WarpControlBlock, wcb_storage_bits
 
 __all__ = [
+    "ARCH_FILE_SUFFIX",
     "AccessResult",
+    "ArchFileProvider",
+    "ArchProvider",
+    "ArchRegistry",
+    "ArchSerializationError",
     "GPU",
     "GPUResult",
     "AddressAllocationUnit",
@@ -26,6 +52,18 @@ __all__ = [
     "EventKind",
     "EventQueue",
     "GPUConfig",
+    "UnknownArchError",
+    "arch_config",
+    "arch_fingerprint",
+    "arch_from_dict",
+    "arch_to_dict",
+    "default_arch_registry",
+    "dumps_arch",
+    "fingerprint_of_arch",
+    "is_arch_file_name",
+    "load_arch",
+    "loads_arch",
+    "save_arch",
     "MainRegisterFile",
     "MemoryConfig",
     "MemoryHierarchy",

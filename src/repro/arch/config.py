@@ -43,6 +43,24 @@ class MemoryConfig:
     dram_service_interval: int = 2          # bandwidth: one request / 2 cycles
 
     def __post_init__(self) -> None:
+        # These fields are arbitrary user input once .arch.json files
+        # land, so every constraint fails with an actionable message
+        # instead of a downstream ZeroDivisionError or an infinite
+        # simulation.
+        for field_name in ("line_bytes", "l1_ways", "llc_ways",
+                           "l1_size_bytes", "llc_size_bytes"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(
+                    f"{field_name} must be >= 1, "
+                    f"got {getattr(self, field_name)}"
+                )
+        for field_name in ("l1_latency", "llc_latency", "dram_latency",
+                           "dram_service_interval"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(
+                    f"{field_name} must be a positive cycle count, "
+                    f"got {getattr(self, field_name)}"
+                )
         if self.l1_size_bytes % (self.l1_ways * self.line_bytes):
             raise ValueError("L1 geometry does not divide into sets")
         if self.llc_size_bytes % (self.llc_ways * self.line_bytes):
@@ -87,6 +105,44 @@ class GPUConfig:
             raise ValueError("mrf_latency_multiple is relative; must be >= 1")
         if self.regs_per_interval < 4:
             raise ValueError("regs_per_interval must be >= 4")
+        # .arch.json makes the remaining fields arbitrary user input;
+        # reject degenerate values here with actionable messages rather
+        # than hanging the bank scheduler or dividing by zero later.
+        if self.mrf_size_kb < 1:
+            raise ValueError(
+                f"mrf_size_kb must be >= 1, got {self.mrf_size_kb}"
+            )
+        if self.mrf_banks < 1:
+            raise ValueError(
+                f"mrf_banks must be >= 1 (the MRF needs at least one "
+                f"bank), got {self.mrf_banks}"
+            )
+        if self.rfc_banks < 1:
+            raise ValueError(
+                f"rfc_banks must be >= 1, got {self.rfc_banks}"
+            )
+        if self.issue_width < 1:
+            raise ValueError(
+                f"issue_width must be >= 1 (the SM must issue "
+                f"something), got {self.issue_width}"
+            )
+        for field_name in ("mrf_base_bank_latency", "mrf_crossbar_latency",
+                           "rfc_latency"):
+            if getattr(self, field_name) < 1:
+                raise ValueError(
+                    f"{field_name} must be a positive cycle count, "
+                    f"got {getattr(self, field_name)}"
+                )
+        if self.narrow_crossbar_factor < 1:
+            raise ValueError(
+                f"narrow_crossbar_factor must be >= 1 (it divides the "
+                f"crossbar width), got {self.narrow_crossbar_factor}"
+            )
+        if self.wcb_extra_operand_penalty < 0:
+            raise ValueError(
+                f"wcb_extra_operand_penalty must be >= 0, "
+                f"got {self.wcb_extra_operand_penalty}"
+            )
 
     # -- derived quantities ------------------------------------------------
 

@@ -3,13 +3,18 @@
 Usage (after ``pip install -e .``):
 
     python -m repro.cli list-workloads [--family regpressure]
-    python -m repro.cli simulate backprop --policy LTRF --config 6
+    python -m repro.cli list-archs
+    python -m repro.cli simulate backprop --policy LTRF --arch tfet-8x
     python -m repro.cli simulate regpressure-128 --policy LTRF
     python -m repro.cli simulate --kernel-file bp.kernel.json --policy LTRF
+    python -m repro.cli simulate backprop --arch-file my-sm.arch.json
     python -m repro.cli compile backprop --regions strand
     python -m repro.cli export-kernel backprop -o bp.kernel.json
+    python -m repro.cli export-arch maxwell-like -o m.arch.json
     python -m repro.cli experiment fig9a fig10 table4 --jobs 4
+    python -m repro.cli experiment fig14 --arch my-sm.arch.json
     python -m repro.cli sweep backprop --policies BL,LTRF,LTRF+ --jobs 4
+    python -m repro.cli sweep backprop --arch maxwell-like,my.arch.json
     python -m repro.cli store stats
     python -m repro.cli store verify
     python -m repro.cli store compact
@@ -17,9 +22,12 @@ Usage (after ``pip install -e .``):
 
 Workload arguments resolve through the registry
 (:mod:`repro.workloads.registry`): any suite name, any scenario-family
-instance (``<family>-<parameter>``), or a ``.kernel.json`` path.  Every
-subcommand prints plain text; experiment names mirror the paper's
-tables and figures (see DESIGN.md's experiment index).
+instance (``<family>-<parameter>``), or a ``.kernel.json`` path.
+Architecture arguments resolve the same way through
+:mod:`repro.arch.registry`: a built-in name (``list-archs``) or a
+``.arch.json`` path.  Every subcommand prints plain text; experiment
+names mirror the paper's tables and figures (see DESIGN.md's
+experiment index).
 """
 
 from __future__ import annotations
@@ -29,14 +37,18 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.arch import GPU
+from repro.arch import GPU, GPUConfig, arch_fingerprint, save_arch
+from repro.arch.registry import (
+    ARCH_FILE_SUFFIX,
+    default_arch_registry,
+    is_arch_file_name,
+)
 from repro.compiler import compile_kernel
 from repro.experiments import (
     Runner,
-    baseline_config,
     fig2, fig3, fig4, fig9, fig10, fig11, fig12, fig13, fig14,
     max_tolerable_latency, normalized_sweep, overheads, sweep_requests,
-    table1, table2, table2_config, table4,
+    table1, table2, table4,
 )
 from repro.experiments.runner import default_cache_dir
 from repro.ir import kernel_fingerprint, save_kernel
@@ -70,6 +82,17 @@ EXPERIMENTS = {
     "fig14": lambda runner, jobs: fig14(runner, jobs=jobs),
     "table4": lambda runner, jobs: table4(),
     "overheads": lambda runner, jobs: overheads(runner, jobs=jobs),
+}
+
+#: Experiments that sweep a *chosen* architecture (the latency-tolerance
+#: figures perturb whatever SM they are given); everything else pins the
+#: specific paper configuration it reproduces, so ``--arch`` is an
+#: error there rather than a silently ignored flag.
+ARCH_AWARE = {
+    "fig11": lambda runner, jobs, arch: fig11(runner, jobs=jobs, arch=arch),
+    "fig12": lambda runner, jobs, arch: fig12(runner, jobs=jobs, arch=arch),
+    "fig13": lambda runner, jobs, arch: fig13(runner, jobs=jobs, arch=arch),
+    "fig14": lambda runner, jobs, arch: fig14(runner, jobs=jobs, arch=arch),
 }
 
 
@@ -116,8 +139,16 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workload_argument(simulate)
     simulate.add_argument("--policy", default="LTRF",
                           choices=sorted(POLICIES))
-    simulate.add_argument("--config", type=int, default=1,
-                          help="Table 2 design point (1-7)")
+    simulate.add_argument("--arch", default=None, metavar="NAME",
+                          help="architecture by registry name (see "
+                               "list-archs) or .arch.json path "
+                               "(default: maxwell-like)")
+    simulate.add_argument("--arch-file", default=None, metavar="PATH",
+                          help="architecture from a .arch.json file "
+                               "(alternative to --arch)")
+    simulate.add_argument("--config", type=int, default=None,
+                          help="deprecated: Table 2 design point (1-7); "
+                               "use --arch maxwell-like/table2-N instead")
     simulate.add_argument("--latency", type=float, default=None,
                           help="override the MRF latency multiple")
     simulate.add_argument("--sms", type=int, default=1,
@@ -143,17 +174,42 @@ def _build_parser() -> argparse.ArgumentParser:
     export.add_argument("-o", "--output", default=None, metavar="PATH",
                         help="output path (default <workload>.kernel.json)")
 
+    sub.add_parser(
+        "list-archs", help="list named architecture descriptions"
+    )
+    export_arch = sub.add_parser(
+        "export-arch",
+        help="serialize a named architecture to a .arch.json file",
+    )
+    export_arch.add_argument(
+        "arch",
+        help="registry name (see list-archs) or .arch.json path to "
+             "re-export",
+    )
+    export_arch.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="output path (default <arch>.arch.json)",
+    )
+
     experiment = sub.add_parser("experiment",
                                 help="regenerate paper tables/figures")
     experiment.add_argument("names", nargs="+",
                             choices=sorted(EXPERIMENTS) + ["all"])
     experiment.add_argument("--jobs", type=int, default=1,
                             help="worker processes for simulation grids")
+    experiment.add_argument(
+        "--arch", default=None, metavar="NAME",
+        help="architecture to sweep (latency-tolerance figures only): "
+             "registry name or .arch.json path",
+    )
 
     sweep = sub.add_parser("sweep", help="latency-tolerance sweep")
     _add_workload_argument(sweep)
     sweep.add_argument("--policies", default="BL,RFC,LTRF,LTRF+",
                        help="comma-separated policy names")
+    sweep.add_argument("--arch", default="maxwell-like", metavar="NAMES",
+                       help="comma-separated architecture axis: registry "
+                            "names and/or .arch.json paths")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep grid")
 
@@ -259,20 +315,79 @@ def _make_runner() -> Runner:
         raise _CliError(2) from None
 
 
+def _require_arch_json_suffix(path: str) -> None:
+    """Enforce the file-routing rule for architecture files.
+
+    Mirrors :func:`_require_json_suffix`: a name routes to the
+    ``.arch.json`` loader iff it ends in ``.json``, so exporting to (or
+    loading from) any other suffix would produce a file this same tool
+    refuses to consume.
+    """
+    if not is_arch_file_name(path):
+        print(f"error: architecture files must end in .json "
+              f"(got {path!r}); e.g. {path}{ARCH_FILE_SUFFIX}",
+              file=sys.stderr)
+        raise _CliError(2)
+
+
+def _resolve_arch_config(name: str) -> GPUConfig:
+    """Resolve an architecture name/path, failing with a clean error.
+
+    Covers :class:`~repro.arch.registry.UnknownArchError` (difflib
+    suggestions) and
+    :class:`~repro.arch.serialize.ArchSerializationError` (bad/missing
+    file, invalid field values) -- all ValueError subclasses.
+    """
+    try:
+        return default_arch_registry().get_config(name)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise _CliError(2) from None
+
+
+def _select_arch(args) -> str:
+    """The architecture name/path a ``simulate`` invocation chose.
+
+    Exactly one selection mechanism may be used; the deprecated
+    numeric ``--config`` maps onto registry names (``1`` is the 272KB
+    normalisation baseline the figures use, ``N`` is ``table2-N``)
+    with a warning, so there is one way to pick an architecture.
+    """
+    chosen = [flag for flag, value in (("--arch", args.arch),
+                                       ("--arch-file", args.arch_file),
+                                       ("--config", args.config))
+              if value is not None]
+    if len(chosen) > 1:
+        print(f"error: pass only one of --arch, --arch-file or --config "
+              f"(got {' and '.join(chosen)})", file=sys.stderr)
+        raise _CliError(2)
+    if args.arch_file is not None:
+        _require_arch_json_suffix(args.arch_file)
+        return args.arch_file
+    if args.config is not None:
+        name = "maxwell-like" if args.config == 1 else f"table2-{args.config}"
+        print(f"warning: --config {args.config} is deprecated; use "
+              f"--arch {name} (or an .arch.json file)", file=sys.stderr)
+        return name
+    if args.arch is not None:
+        return args.arch
+    return "maxwell-like"
+
+
 def _cmd_simulate(args) -> None:
     workload = _resolve_workload(args.workload, args.kernel_file)
-    # Configuration #1 uses the same 272KB normalisation baseline as the
-    # experiments (MRF + the 16KB RFC budget), so printed IPC numbers
-    # are directly comparable to the figures.
-    config = (table2_config(args.config) if args.config != 1
-              else baseline_config())
+    # The default architecture is the same 272KB normalisation baseline
+    # the experiments use (MRF + the 16KB RFC budget), so printed IPC
+    # numbers are directly comparable to the figures.
+    arch = _select_arch(args)
+    config = _resolve_arch_config(arch)
     if args.latency is not None:
         config = config.with_latency_multiple(args.latency)
     runner = _make_runner()
     result = runner.simulate(workload, args.policy, config)
     print(f"workload           {workload}")
     print(f"policy             {args.policy}")
-    print(f"config             #{args.config} "
+    print(f"arch               {arch} "
           f"({config.mrf_size_kb}KB, {config.mrf_latency_multiple}x)")
     print(f"resident warps     {result.resident_warps}")
     print(f"cycles             {result.cycles}")
@@ -309,11 +424,24 @@ def _cmd_compile(args) -> None:
               f"|WS|={region.working_set_size:2d} {{{regs}}}")
 
 
-def _cmd_experiment(names: List[str], jobs: int) -> None:
-    runner = _make_runner()
+def _cmd_experiment(names: List[str], jobs: int,
+                    arch: Optional[str] = None) -> None:
     selected = sorted(EXPERIMENTS) if "all" in names else names
+    if arch is not None:
+        unsupported = [name for name in selected if name not in ARCH_AWARE]
+        if unsupported:
+            print(f"error: --arch only applies to the latency-sweep "
+                  f"figures ({', '.join(sorted(ARCH_AWARE))}); "
+                  f"{unsupported[0]!r} reproduces a fixed paper "
+                  "configuration", file=sys.stderr)
+            raise _CliError(2)
+        _resolve_arch_config(arch)      # fail fast, before any simulation
+    runner = _make_runner()
     for name in selected:
-        result = EXPERIMENTS[name](runner, jobs)
+        if arch is not None:
+            result = ARCH_AWARE[name](runner, jobs, arch)
+        else:
+            result = EXPERIMENTS[name](runner, jobs)
         print(result.render())
         print()
     print(f"[engine] {runner.render_telemetry()}")
@@ -321,21 +449,32 @@ def _cmd_experiment(names: List[str], jobs: int) -> None:
 
 def _cmd_sweep(args) -> None:
     workload = _resolve_workload(args.workload, args.kernel_file)
+    archs = [name.strip() for name in args.arch.split(",")]
+    for arch in archs:
+        _resolve_arch_config(arch)      # fail fast, before any simulation
     runner = _make_runner()
     policies = [policy.strip() for policy in args.policies.split(",")]
     runner.simulate_many(
         [
             request
+            for arch in archs
             for policy in policies
-            for request in sweep_requests(policy, workload)
+            for request in sweep_requests(policy, workload, arch=arch)
         ],
         jobs=args.jobs,
     )
-    for policy in policies:
-        sweep = normalized_sweep(runner, policy, workload)
-        tolerable = max_tolerable_latency(sweep)
-        curve = "  ".join(f"{value:.2f}" for value in sweep)
-        print(f"{policy:12s} {curve}  -> tolerates {tolerable:.1f}x")
+    label_width = max(
+        12,
+        *(len(f"{policy}@{arch}") for arch in archs for policy in policies),
+    ) if len(archs) > 1 else 12
+    for arch in archs:
+        for policy in policies:
+            sweep = normalized_sweep(runner, policy, workload, arch=arch)
+            tolerable = max_tolerable_latency(sweep)
+            curve = "  ".join(f"{value:.2f}" for value in sweep)
+            label = f"{policy}@{arch}" if len(archs) > 1 else policy
+            print(f"{label:{label_width}s} {curve}  "
+                  f"-> tolerates {tolerable:.1f}x")
 
 
 def _cmd_export_kernel(args) -> None:
@@ -353,6 +492,36 @@ def _cmd_export_kernel(args) -> None:
         raise _CliError(2) from None
     print(f"exported {workload} -> {output} "
           f"(fingerprint {kernel_fingerprint(kernel)})")
+
+
+def _cmd_export_arch(args) -> None:
+    config = _resolve_arch_config(args.arch)
+    output = args.output
+    if output is None:
+        output = f"{args.arch.replace('/', '_')}{ARCH_FILE_SUFFIX}"
+    else:
+        _require_arch_json_suffix(output)
+    try:
+        save_arch(config, output)
+    except OSError as error:
+        print(f"error: cannot write {output!r}: {error}", file=sys.stderr)
+        raise _CliError(2) from None
+    print(f"exported {args.arch} -> {output} "
+          f"(fingerprint {arch_fingerprint(config)})")
+
+
+def _cmd_list_archs() -> None:
+    registry = default_arch_registry()
+    for name in registry.names():
+        provider = registry.provider(name)
+        config = registry.get_config(name)
+        print(f"{name:16s} {config.mrf_size_kb:5d}KB "
+              f"{config.mrf_banks:3d} banks "
+              f"{config.mrf_latency_multiple:4.2f}x  "
+              f"{provider.description}")
+    print()
+    print("(use with --arch, or export-arch <name> to start a "
+          "custom .arch.json)")
 
 
 def _store_root(args) -> str:
@@ -477,8 +646,12 @@ def main(argv: List[str] = None) -> int:
             _cmd_compile(args)
         elif args.command == "export-kernel":
             _cmd_export_kernel(args)
+        elif args.command == "export-arch":
+            _cmd_export_arch(args)
+        elif args.command == "list-archs":
+            _cmd_list_archs()
         elif args.command == "experiment":
-            _cmd_experiment(args.names, args.jobs)
+            _cmd_experiment(args.names, args.jobs, args.arch)
         elif args.command == "sweep":
             _cmd_sweep(args)
         elif args.command == "store":

@@ -14,13 +14,12 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.arch.registry import arch_config
 from repro.experiments.report import ExperimentResult, geomean, mean
 from repro.experiments.runner import (
     Runner,
     SimRequest,
-    baseline_config,
     simulate_vs_baseline,
-    table2_config,
 )
 from repro.power.energy import normalized_power
 from repro.workloads import EVALUATION, workload_category
@@ -43,7 +42,7 @@ def fig3(runner: Runner, workloads: Optional[List[str]] = None,
         ("Workload", "Category", "Ideal TFET", "TFET-SRAM"),
     )
     names = _workloads(workloads)
-    config = table2_config(6)
+    config = arch_config("tfet-8x")
     comparison = simulate_vs_baseline(
         runner, names, ("Ideal", "BL"), config, jobs=jobs
     )
@@ -75,7 +74,7 @@ def fig4(runner: Runner, workloads: Optional[List[str]] = None,
         ("Workload", "Category", "HW cache (RFC)", "SW cache (SHRF)"),
     )
     names = _workloads(workloads)
-    config = baseline_config()
+    config = arch_config("maxwell-like")
     grid = [
         SimRequest(name, policy, config)
         for name in names
@@ -110,7 +109,7 @@ def fig9(runner: Runner, config_id: int = 6,
         ("Workload", "Category") + FIG9_POLICIES,
     )
     names = _workloads(workloads)
-    config = table2_config(config_id)
+    config = arch_config(f"table2-{config_id}")
     comparison = simulate_vs_baseline(
         runner, names, FIG9_POLICIES, config, jobs=jobs
     )
@@ -142,7 +141,7 @@ def fig10(runner: Runner, workloads: Optional[List[str]] = None,
     )
     names = _workloads(workloads)
     comparison = simulate_vs_baseline(
-        runner, names, FIG10_POLICIES, table2_config(7), jobs=jobs
+        runner, names, FIG10_POLICIES, arch_config("dwm-8x"), jobs=jobs
     )
     series = {policy: [] for policy in FIG10_POLICIES}
     for name, base, policy_records in comparison:

@@ -11,13 +11,13 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.arch.registry import arch_config
 from repro.arch.wcb import wcb_storage_bits
 from repro.compiler import compile_kernel, region_length_comparison
 from repro.experiments.report import ExperimentResult, mean
 from repro.experiments.runner import (
     Runner,
     simulate_vs_baseline,
-    table2_config,
 )
 from repro.workloads import EVALUATION, get_kernel, workload_names
 
@@ -67,7 +67,7 @@ def overheads(runner: Runner,
         ("Workload", "Code +bit", "Code +instr", "MRF access reduction"),
     )
     comparison = simulate_vs_baseline(
-        runner, names, ("LTRF",), table2_config(6), jobs=jobs
+        runner, names, ("LTRF",), arch_config("tfet-8x"), jobs=jobs
     )
     for name, base, (ltrf,) in comparison:
         compiled = compile_kernel(get_kernel(name))

@@ -39,10 +39,17 @@ FIG11_POLICIES = ("BL", "RFC", "LTRF", "LTRF+")
 
 def sweep_requests(policy: str, workload: str,
                    grid: Sequence[float] = LATENCY_GRID,
+                   arch="maxwell-like",
                    **config_overrides) -> List[SimRequest]:
-    """The batch requests for one design's latency sweep."""
+    """The batch requests for one design's latency sweep.
+
+    ``arch`` names the architecture the sweep perturbs: a registry
+    name, a ``.arch.json`` path, or a :class:`GPUConfig` -- so the same
+    fig-14-style grid runs over user-defined topologies.
+    """
     return [
-        SimRequest(workload, policy, sweep_config(m, **config_overrides))
+        SimRequest(workload, policy,
+                   sweep_config(m, arch=arch, **config_overrides))
         for m in grid
     ]
 
@@ -50,10 +57,12 @@ def sweep_requests(policy: str, workload: str,
 def normalized_sweep(runner: Runner, policy: str, workload: str,
                      grid: Sequence[float] = LATENCY_GRID,
                      jobs: Optional[int] = None,
+                     arch="maxwell-like",
                      **config_overrides) -> List[float]:
     """IPC at each grid point, normalised to the same design at 1x."""
     records = runner.simulate_many(
-        sweep_requests(policy, workload, grid, **config_overrides),
+        sweep_requests(policy, workload, grid, arch=arch,
+                       **config_overrides),
         jobs=jobs,
     )
     base = records[0].ipc if records else 0.0
@@ -83,7 +92,8 @@ def max_tolerable_latency(normalized: Sequence[float],
 
 def fig11(runner: Runner, workloads: Optional[List[str]] = None,
           loss: float = 0.05,
-          jobs: Optional[int] = None) -> ExperimentResult:
+          jobs: Optional[int] = None,
+          arch="maxwell-like") -> ExperimentResult:
     """Maximum tolerable register file latency per design per workload."""
     names = list(workloads) if workloads is not None else list(EVALUATION)
     result = ExperimentResult(
@@ -96,7 +106,7 @@ def fig11(runner: Runner, workloads: Optional[List[str]] = None,
             request
             for name in names
             for policy in FIG11_POLICIES
-            for request in sweep_requests(policy, name)
+            for request in sweep_requests(policy, name, arch=arch)
         ],
         jobs=jobs,
     )
@@ -104,7 +114,7 @@ def fig11(runner: Runner, workloads: Optional[List[str]] = None,
     for name in names:
         row = []
         for policy in FIG11_POLICIES:
-            sweep = normalized_sweep(runner, policy, name)
+            sweep = normalized_sweep(runner, policy, name, arch=arch)
             tolerable = max_tolerable_latency(sweep, loss=loss)
             row.append(tolerable)
             series[policy].append(tolerable)
@@ -117,7 +127,8 @@ def fig11(runner: Runner, workloads: Optional[List[str]] = None,
 
 def fig12(runner: Runner, workloads: Optional[List[str]] = None,
           interval_sizes: Sequence[int] = (8, 16, 32),
-          jobs: Optional[int] = None) -> ExperimentResult:
+          jobs: Optional[int] = None,
+          arch="maxwell-like") -> ExperimentResult:
     """LTRF IPC vs latency for different registers-per-interval budgets."""
     names = list(workloads) if workloads is not None else list(SWEEP_SUBSET)
     result = ExperimentResult(
@@ -131,7 +142,7 @@ def fig12(runner: Runner, workloads: Optional[List[str]] = None,
             for size in interval_sizes
             for name in names
             for request in sweep_requests(
-                "LTRF", name, regs_per_interval=size
+                "LTRF", name, arch=arch, regs_per_interval=size
             )
         ],
         jobs=jobs,
@@ -141,7 +152,7 @@ def fig12(runner: Runner, workloads: Optional[List[str]] = None,
         per_point = [[] for _ in LATENCY_GRID]
         for name in names:
             sweep = normalized_sweep(
-                runner, "LTRF", name, regs_per_interval=size
+                runner, "LTRF", name, arch=arch, regs_per_interval=size
             )
             for index, value in enumerate(sweep):
                 per_point[index].append(value)
@@ -159,7 +170,8 @@ def fig12(runner: Runner, workloads: Optional[List[str]] = None,
 
 def fig13(runner: Runner, workloads: Optional[List[str]] = None,
           pools: Sequence[int] = (4, 8, 16),
-          jobs: Optional[int] = None) -> ExperimentResult:
+          jobs: Optional[int] = None,
+          arch="maxwell-like") -> ExperimentResult:
     """LTRF IPC vs latency for different active-warp pool sizes."""
     names = list(workloads) if workloads is not None else list(SWEEP_SUBSET)
     result = ExperimentResult(
@@ -172,7 +184,8 @@ def fig13(runner: Runner, workloads: Optional[List[str]] = None,
             request
             for pool in pools
             for name in names
-            for request in sweep_requests("LTRF", name, active_warps=pool)
+            for request in sweep_requests("LTRF", name, arch=arch,
+                                          active_warps=pool)
         ],
         jobs=jobs,
     )
@@ -181,7 +194,7 @@ def fig13(runner: Runner, workloads: Optional[List[str]] = None,
         per_point = [[] for _ in LATENCY_GRID]
         for name in names:
             sweep = normalized_sweep(
-                runner, "LTRF", name, active_warps=pool
+                runner, "LTRF", name, arch=arch, active_warps=pool
             )
             for index, value in enumerate(sweep):
                 per_point[index].append(value)
@@ -199,7 +212,8 @@ def fig13(runner: Runner, workloads: Optional[List[str]] = None,
 
 
 def fig14(runner: Runner, workloads: Optional[List[str]] = None,
-          jobs: Optional[int] = None) -> ExperimentResult:
+          jobs: Optional[int] = None,
+          arch="maxwell-like") -> ExperimentResult:
     """Normalised IPC vs latency for all five designs."""
     names = list(workloads) if workloads is not None else list(SWEEP_SUBSET)
     result = ExperimentResult(
@@ -212,7 +226,7 @@ def fig14(runner: Runner, workloads: Optional[List[str]] = None,
             request
             for policy in FIG14_POLICIES
             for name in names
-            for request in sweep_requests(policy, name)
+            for request in sweep_requests(policy, name, arch=arch)
         ],
         jobs=jobs,
     )
@@ -220,7 +234,7 @@ def fig14(runner: Runner, workloads: Optional[List[str]] = None,
     for policy in FIG14_POLICIES:
         per_point = [[] for _ in LATENCY_GRID]
         for name in names:
-            sweep = normalized_sweep(runner, policy, name)
+            sweep = normalized_sweep(runner, policy, name, arch=arch)
             for index, value in enumerate(sweep):
                 per_point[index].append(value)
         curves[policy] = [mean(point) for point in per_point]

@@ -39,6 +39,8 @@ from dataclasses import asdict, dataclass, field, fields, is_dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.arch.config import GPUConfig
+from repro.arch.registry import arch_config
+from repro.arch.serialize import fingerprint_of_arch
 from repro.arch.sm import StreamingMultiprocessor
 from repro.compiler.cache import STATS as COMPILE_STATS
 from repro.policies import policy_by_name
@@ -419,21 +421,39 @@ class Runner:
 
     def _key(self, workload: str, policy: str, config: GPUConfig,
              seed: int) -> str:
-        # The kernel content fingerprint is part of the key: a name is
-        # just a lookup handle (a generator edit, a re-parameterised
-        # scenario, or a replaced .kernel.json can silently change what
-        # it denotes), and serving a cached record for different kernel
-        # content would be silently wrong results.  Fingerprints are
-        # memoised per process, so this costs one kernel build per
-        # workload name.
+        # Both content fingerprints are part of the key: a workload
+        # name is just a lookup handle (a generator edit, a
+        # re-parameterised scenario, or a replaced .kernel.json can
+        # silently change what it denotes), and since PR 6 the
+        # architecture is likewise addressed by *content* -- the
+        # serialization-canonical arch fingerprint (``a`` segment) --
+        # so a rewritten .arch.json or a renamed registry entry can
+        # never serve a record simulated on different hardware.
+        # Fingerprints are memoised per process, so this costs one
+        # kernel build per workload name and one hash per distinct
+        # configuration.
         return (
-            f"{workload}__{policy}__{_config_fingerprint(config)}__{seed}"
+            f"{workload}__{policy}__a{fingerprint_of_arch(config)}__{seed}"
             f"__k{workload_fingerprint(workload)}"
         )
 
     def request_key(self, request: SimRequest) -> str:
         return self._key(
             request.workload, request.policy, request.config, request.seed
+        )
+
+    def _legacy_key(self, request: SimRequest) -> str:
+        """The pre-arch-fingerprint key format (migration shim).
+
+        Earlier stores keyed configurations with the sha1-based
+        ``_config_fingerprint``; :meth:`_load_or_migrate` probes this
+        key on a miss so entries written before the arch-fingerprint
+        change stay warm, and re-homes hits under the current format.
+        """
+        return (
+            f"{request.workload}__{request.policy}__"
+            f"{_config_fingerprint(request.config)}__{request.seed}"
+            f"__k{workload_fingerprint(request.workload)}"
         )
 
     @staticmethod
@@ -472,6 +492,34 @@ class Runner:
         self._memory_cache[key] = record
         return record
 
+    def _load_or_migrate(self, key: str,
+                         request: SimRequest) -> Optional[RunRecord]:
+        """:meth:`_load`, falling back to the legacy key format.
+
+        A record found only under the legacy key is re-homed: stored
+        again under the current arch-fingerprint key, so the probe cost
+        is paid once per entry and future runs (and other readers) see
+        it at the canonical address.  The legacy entry itself is left
+        in place -- the store is append-only and old readers may still
+        address it.
+        """
+        record = self._load(key)
+        if record is not None:
+            return record
+        if self.result_store is None:
+            return None
+        payload = self.result_store.get(self._legacy_key(request))
+        if payload is None:
+            return None
+        try:
+            record = RunRecord(**payload)
+        except TypeError:
+            # Stale-schema legacy entry: a miss, same as in _load.
+            return None
+        self.stats.disk_hits += 1
+        self._store(key, record)
+        return record
+
     def _store(self, key: str, record: RunRecord) -> None:
         # Flushed immediately (not at merge time): anything stored here
         # survives a mid-sweep crash, which is what makes sweeps
@@ -502,7 +550,7 @@ class Runner:
         before = BUILD_STATS.snapshot()
         key = self.request_key(request)
         self._note_front_end_builds(before)
-        cached = self._load(key)
+        cached = self._load_or_migrate(key, request)
         if cached is not None:
             return cached
         record, telemetry = execute_request_with_telemetry(request)
@@ -533,7 +581,7 @@ class Runner:
             if key in results or key in pending:
                 self.stats.batch_deduplicated += 1
                 continue
-            cached = self._load(key)
+            cached = self._load_or_migrate(key, request)
             if cached is not None:
                 results[key] = cached
             else:
@@ -723,21 +771,30 @@ def simulate_vs_baseline(runner: "Runner", workloads: Iterable[str],
 
 
 # -- standard configurations --------------------------------------------------
+#
+# Thin conveniences over the architecture registry
+# (repro.arch.registry): each resolves a built-in name and applies
+# override deltas, so experiment code and user .arch.json files go
+# through one resolution path and build byte-identical configurations.
 
 def baseline_config(**overrides) -> GPUConfig:
     """The normalisation baseline: configuration #1 plus the 16KB the
     cached designs spend on their RFC (Section 5, "Comparison Points")."""
-    return GPUConfig(mrf_size_kb=272).scaled(**overrides)
+    return arch_config("maxwell-like", **overrides)
 
 
 def table2_config(config_id: int, **overrides) -> GPUConfig:
     """Simulator configuration for a Table 2 design point."""
-    from repro.power.tech import gpu_config_for
-    return gpu_config_for(config_id, GPUConfig(), **overrides)
+    from repro.power.tech import design
+    design(config_id)       # keep the historical error for bad ids
+    return arch_config(f"table2-{config_id}", **overrides)
 
 
-def sweep_config(latency_multiple: float, **overrides) -> GPUConfig:
-    """Constant-size latency-sweep point (Figures 11-14)."""
-    return baseline_config(
-        mrf_latency_multiple=latency_multiple, **overrides
+def sweep_config(latency_multiple: float, arch="maxwell-like",
+                 **overrides) -> GPUConfig:
+    """Latency-sweep point (Figures 11-14): ``arch`` at the given
+    relative MRF latency.  ``arch`` may be a registry name, a
+    ``.arch.json`` path, or a :class:`GPUConfig`."""
+    return arch_config(
+        arch, mrf_latency_multiple=latency_multiple, **overrides
     )

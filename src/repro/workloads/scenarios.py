@@ -26,6 +26,10 @@ Built-in families:
 * ``depchain-L`` -- ILP-starved dependency chain: one ``L``-instruction
   serial FMA chain per iteration (each instruction reads the previous
   result), so issue stalls come from operand latency, not capacity.
+* ``divergence-P+stream-K`` -- the composed cross-product opener: ``K``
+  zero-locality DRAM streams *and* ``P``% diamonds in the same loop
+  body, so divergence reconvergence and memory latency tolerance
+  interact instead of being probed one axis at a time.
 """
 
 from __future__ import annotations
@@ -126,6 +130,57 @@ class ScenarioFamily:
         )
 
 
+class ComposedScenarioFamily(ScenarioFamily):
+    """Cross-product family: ``divergence-P+stream-K``.
+
+    The parameter is a ``(taken_percent, streams)`` pair parsed from
+    the two-part instance name; everything else (lazy provider, memo
+    invalidation, registry resolution) rides on the base class, which
+    only requires ``parse`` to return a non-None hashable value.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            "divergence+stream",
+            "composed: P% diamonds and K DRAM-bound streams per "
+            "iteration",
+            "P+K = diamond taken probability in percent (1..99) "
+            "crossed with independent DRAM streams (1..32)",
+            # Bounds are (P, K) pairs, like every parameter of this
+            # family -- so generic family mechanics (instance_name of
+            # low/high, etc.) hold unchanged.
+            (1, 1), (99, 32), _build_divergence_stream,
+            lambda parameter: INSENSITIVE,
+            ("divergence-25+stream-4", "divergence-75+stream-8"),
+        )
+        self._pattern = re.compile(r"divergence-(\d+)\+stream-(\d+)\Z")
+
+    def instance_name(self, parameter: Tuple[int, int]) -> str:
+        taken_percent, streams = parameter
+        return f"divergence-{taken_percent}+stream-{streams}"
+
+    def parse(self, name: str) -> Optional[Tuple[int, int]]:
+        found = self._pattern.match(name)
+        if found is None:
+            return None
+        return (int(found.group(1)), int(found.group(2)))
+
+    def check_parameter(
+            self, parameter: Tuple[int, int]) -> Tuple[int, int]:
+        taken_percent, streams = parameter
+        if not 1 <= taken_percent <= 99:
+            raise ValueError(
+                f"divergence+stream taken probability {taken_percent} "
+                "outside [1, 99] (P = percent)"
+            )
+        if not 1 <= streams <= 32:
+            raise ValueError(
+                f"divergence+stream stream count {streams} outside "
+                "[1, 32] (K = DRAM streams)"
+            )
+        return parameter
+
+
 # -- family builders ----------------------------------------------------------
 
 
@@ -202,6 +257,67 @@ def _build_stream(streams: int, seed: int) -> Kernel:
                      stride=512)
         if stream % 2 == 0:
             builder.fadd(accumulator, accumulator, loaded)
+    builder.block("latch")
+    builder.alu(accumulator, accumulator, 0)
+    builder.branch("loop", trip_count=trips)
+
+    builder.block("end")
+    builder.store(accumulator, stream=99, footprint=1 << 20)
+    builder.exit()
+    return builder.build()
+
+
+def _build_divergence_stream(parameter: Tuple[int, int],
+                             seed: int) -> Kernel:
+    """``K`` zero-locality streams and ``P``% diamonds in one body.
+
+    The streams are the ``stream-K`` loads (every access a DRAM miss);
+    the two diamond segments are the ``divergence-P`` shape chained
+    off cacheable loads.  Divergent reconvergence therefore happens
+    *while* the streaming misses are outstanding -- the interaction
+    neither single-axis family exercises.
+    """
+    taken_percent, streams = parameter
+    rng = random.Random(_derive_seed(
+        "divergence+stream", taken_percent * 1000 + streams, seed
+    ))
+    probability = taken_percent / 100.0
+    name = f"divergence-{taken_percent}+stream-{streams}"
+    builder = KernelBuilder(name, category=INSENSITIVE)
+    values = _ValueRotation(16, rng)            # 24 registers total
+    emit_entry_parameters(builder)
+
+    segments = 2
+    per_trip = segments * 7 + streams + streams // 2 + 3
+    trips = max(4, min(40, round(_TARGET_DYNAMIC / per_trip)))
+
+    builder.block("loop")
+    accumulator = values.fresh()
+    builder.alu(accumulator, rng.randrange(8))
+    for stream in range(streams):
+        loaded = values.fresh()
+        builder.load(loaded, stream=stream + 1, footprint=64 << 20,
+                     stride=512)
+        if stream % 2 == 0:
+            builder.fadd(accumulator, accumulator, loaded)
+    for segment in range(segments):
+        loaded = values.fresh()
+        builder.load(loaded, stream=100 + segment, footprint=8 << 20,
+                     stride=128)
+        # Both arms define `merged` (a phi), as in _build_divergence.
+        merged = values.fresh()
+        builder.branch(f"else{segment}", taken_probability=probability)
+        builder.block(f"then{segment}")
+        then_value = values.fresh()
+        builder.fadd(then_value, loaded, accumulator)
+        builder.fmul(merged, then_value, rng.randrange(8))
+        builder.jump(f"join{segment}")
+        builder.block(f"else{segment}")
+        else_value = values.fresh()
+        builder.fma(else_value, loaded, accumulator, rng.randrange(8))
+        builder.alu(merged, else_value, rng.randrange(8))
+        builder.block(f"join{segment}")
+        builder.fadd(accumulator, accumulator, merged)
     builder.block("latch")
     builder.alu(accumulator, accumulator, 0)
     builder.branch("loop", trip_count=trips)
@@ -292,4 +408,5 @@ BUILTIN_FAMILIES: List[ScenarioFamily] = [
         lambda length: INSENSITIVE,
         ("depchain-16", "depchain-64"),
     ),
+    ComposedScenarioFamily(),
 ]

@@ -29,6 +29,56 @@ class TestValidation:
         with pytest.raises(ValueError):
             MemoryConfig(l1_size_bytes=1000)   # not divisible into sets
 
+    # .arch.json files make every field arbitrary user input; the
+    # degenerate values below must fail at construction with a message
+    # naming the field, not hang or divide by zero mid-simulation.
+
+    def test_rejects_bankless_mrf(self):
+        with pytest.raises(ValueError, match="mrf_banks"):
+            GPUConfig(mrf_banks=0)
+
+    def test_rejects_bankless_rfc(self):
+        with pytest.raises(ValueError, match="rfc_banks"):
+            GPUConfig(rfc_banks=0)
+
+    def test_rejects_zero_issue_width(self):
+        with pytest.raises(ValueError, match="issue_width"):
+            GPUConfig(issue_width=0)
+
+    def test_rejects_empty_mrf(self):
+        with pytest.raises(ValueError, match="mrf_size_kb"):
+            GPUConfig(mrf_size_kb=0)
+
+    def test_rejects_non_positive_latencies(self):
+        with pytest.raises(ValueError, match="mrf_base_bank_latency"):
+            GPUConfig(mrf_base_bank_latency=0)
+        with pytest.raises(ValueError, match="mrf_crossbar_latency"):
+            GPUConfig(mrf_crossbar_latency=0)
+        with pytest.raises(ValueError, match="rfc_latency"):
+            GPUConfig(rfc_latency=-1)
+
+    def test_rejects_degenerate_crossbar_factor(self):
+        with pytest.raises(ValueError, match="narrow_crossbar_factor"):
+            GPUConfig(narrow_crossbar_factor=0)
+
+    def test_rejects_negative_wcb_penalty(self):
+        with pytest.raises(ValueError, match="wcb_extra_operand_penalty"):
+            GPUConfig(wcb_extra_operand_penalty=-1)
+
+    def test_memory_rejects_non_positive_latencies(self):
+        with pytest.raises(ValueError, match="dram_latency"):
+            MemoryConfig(dram_latency=0)
+        with pytest.raises(ValueError, match="l1_latency"):
+            MemoryConfig(l1_latency=-3)
+        with pytest.raises(ValueError, match="dram_service_interval"):
+            MemoryConfig(dram_service_interval=0)
+
+    def test_memory_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError, match="l1_ways"):
+            MemoryConfig(l1_ways=0)
+        with pytest.raises(ValueError, match="line_bytes"):
+            MemoryConfig(line_bytes=0)
+
 
 class TestDerivedQuantities:
     def test_mrf_warp_registers(self):

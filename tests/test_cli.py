@@ -301,3 +301,126 @@ class TestWorkloadFrontend:
     def test_list_workloads_unknown_family(self, capsys):
         assert main(["list-workloads", "--family", "nope"]) == 2
         assert "unknown" in capsys.readouterr().err
+
+
+class TestArchFrontend:
+    """Registry-backed architecture resolution on the CLI."""
+
+    def test_list_archs(self, capsys):
+        assert main(["list-archs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("maxwell-like", "tfet-8x", "dwm-8x", "table2-6",
+                     "narrow-crossbar"):
+            assert name in out
+        assert "272KB" in out                 # the baseline's capacity
+        assert "export-arch" in out           # the next-step hint
+
+    def test_export_then_simulate_arch_file_same_ipc(self, capsys,
+                                                     tmp_path):
+        """The acceptance criterion: a round-tripped .arch.json must
+        reproduce the registry architecture's IPC byte-identically."""
+        path = str(tmp_path / "m.arch.json")
+        assert main(["export-arch", "maxwell-like", "-o", path]) == 0
+        exported = capsys.readouterr().out
+        assert path in exported and "fingerprint" in exported
+        assert main(["simulate", "btree", "--policy", "BL"]) == 0
+        by_name = _printed_ipc(capsys.readouterr().out)
+        assert main(["simulate", "btree", "--policy", "BL",
+                     "--arch-file", path]) == 0
+        by_file = _printed_ipc(capsys.readouterr().out)
+        assert by_name == by_file
+
+    def test_simulate_named_arch(self, capsys):
+        assert main(["simulate", "btree", "--policy", "BL",
+                     "--arch", "tfet-8x"]) == 0
+        out = capsys.readouterr().out
+        assert "tfet-8x" in out and "IPC" in out
+
+    def test_unknown_arch_suggests_nearest(self, capsys):
+        assert main(["simulate", "btree", "--arch", "maxwel-like"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "maxwell-like" in err
+
+    def test_missing_arch_file_fails_cleanly(self, capsys):
+        assert main(["simulate", "btree", "--arch-file",
+                     "/nonexistent/x.arch.json"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "Traceback" not in err
+
+    def test_corrupt_arch_file_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "bad.arch.json"
+        path.write_text('{"schema": "ltrf-arch", "schema_version": 1, '
+                        '"mrf_bank": 8}')
+        assert main(["simulate", "btree", "--arch-file", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "mrf_bank" in err and "Traceback" not in err
+
+    def test_arch_file_without_json_suffix_fails_cleanly(self, capsys):
+        assert main(["simulate", "btree", "--arch-file", "sm.arch"]) == 2
+        assert "must end in .json" in capsys.readouterr().err
+
+    def test_arch_selectors_conflict(self, capsys):
+        assert main(["simulate", "btree", "--arch", "tfet-8x",
+                     "--arch-file", "x.arch.json"]) == 2
+        assert "only one" in capsys.readouterr().err
+        assert main(["simulate", "btree", "--arch", "tfet-8x",
+                     "--config", "6"]) == 2
+        assert "only one" in capsys.readouterr().err
+
+    def test_numeric_config_deprecated_but_working(self, capsys):
+        assert main(["simulate", "btree", "--policy", "BL",
+                     "--config", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "deprecated" in captured.err
+        assert "--arch maxwell-like" in captured.err
+        deprecated_ipc = _printed_ipc(captured.out)
+        assert main(["simulate", "btree", "--policy", "BL"]) == 0
+        assert _printed_ipc(capsys.readouterr().out) == deprecated_ipc
+
+    def test_numeric_config_maps_to_table2(self, capsys):
+        assert main(["simulate", "btree", "--policy", "BL",
+                     "--config", "6"]) == 0
+        captured = capsys.readouterr()
+        assert "--arch table2-6" in captured.err
+        assert "table2-6" in captured.out
+
+    def test_export_arch_rejects_non_json_output(self, capsys):
+        assert main(["export-arch", "maxwell-like", "-o", "m.arch"]) == 2
+        assert "must end in .json" in capsys.readouterr().err
+
+    def test_export_arch_unknown_name(self, capsys):
+        assert main(["export-arch", "maxwel-like"]) == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_export_arch_to_unwritable_path_fails_cleanly(self, capsys):
+        assert main(["export-arch", "maxwell-like", "-o",
+                     "/nonexistent-dir/m.arch.json"]) == 2
+        err = capsys.readouterr().err
+        assert "cannot write" in err and "Traceback" not in err
+
+    def test_sweep_over_two_arch_files(self, capsys, tmp_path):
+        from repro.arch import GPUConfig
+        from repro.arch.serialize import save_arch
+        fast = str(tmp_path / "fast.arch.json")
+        lean = str(tmp_path / "lean.arch.json")
+        save_arch(GPUConfig(max_resident_warps=8, active_warps=4), fast)
+        save_arch(GPUConfig(max_resident_warps=8, active_warps=4,
+                            mrf_banks=8), lean)
+        assert main(["sweep", "btree", "--policies", "BL",
+                     "--arch", f"{fast},{lean}"]) == 0
+        out = capsys.readouterr().out
+        assert f"BL@{fast}" in out and f"BL@{lean}" in out
+        assert out.count("tolerates") == 2
+
+    def test_sweep_unknown_arch_fails_before_simulating(self, capsys):
+        assert main(["sweep", "btree", "--arch", "maxwel-like"]) == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_experiment_arch_only_for_sweep_figures(self, capsys):
+        assert main(["experiment", "fig3", "--arch", "tfet-8x"]) == 2
+        err = capsys.readouterr().err
+        assert "fig11" in err and "fixed paper configuration" in err
+
+    def test_experiment_unknown_arch_fails_fast(self, capsys):
+        assert main(["experiment", "fig14", "--arch", "maxwel-like"]) == 2
+        assert "did you mean" in capsys.readouterr().err

@@ -10,12 +10,19 @@ from repro.workloads.scenarios import BUILTIN_FAMILIES, ScenarioFamily
 FAMILIES = {family.prefix: family for family in BUILTIN_FAMILIES}
 
 
+def parameter_strategy(family):
+    """A parameter within the family's bounds (scalar or tuple)."""
+    if isinstance(family.low, tuple):
+        return st.tuples(*(
+            st.integers(min_value=low, max_value=high)
+            for low, high in zip(family.low, family.high)
+        ))
+    return st.integers(min_value=family.low, max_value=family.high)
+
+
 def family_strategy():
     return st.sampled_from(BUILTIN_FAMILIES).flatmap(
-        lambda family: st.tuples(
-            st.just(family),
-            st.integers(min_value=family.low, max_value=family.high),
-        )
+        lambda family: st.tuples(st.just(family), parameter_strategy(family))
     )
 
 
@@ -167,6 +174,67 @@ class TestFamilyBehaviours:
             )
         assert chain_ops(short) == 8
         assert chain_ops(long) == 128
+
+
+class TestComposedFamily:
+    FAMILY_KEY = "divergence+stream"
+
+    def test_parse_extracts_both_parameters(self):
+        family = FAMILIES[self.FAMILY_KEY]
+        assert family.parse("divergence-25+stream-4") == (25, 4)
+        assert family.parse("divergence-25+stream-") is None
+        assert family.parse("divergence-25") is None
+        assert family.parse("stream-4") is None
+
+    def test_instance_name_round_trips(self):
+        family = FAMILIES[self.FAMILY_KEY]
+        assert family.instance_name((75, 8)) == "divergence-75+stream-8"
+        assert family.parse(family.instance_name((75, 8))) == (75, 8)
+
+    def test_out_of_range_parameters_rejected(self):
+        family = FAMILIES[self.FAMILY_KEY]
+        for parameter in ((0, 4), (100, 4), (25, 0), (25, 33)):
+            with pytest.raises(ValueError, match="outside"):
+                family.build(parameter)
+
+    def test_deterministic_per_parameter_seed(self):
+        family = FAMILIES[self.FAMILY_KEY]
+        first = kernel_fingerprint(family.build((25, 4), seed=2))
+        second = kernel_fingerprint(family.build((25, 4), seed=2))
+        assert first == second
+        assert first != kernel_fingerprint(family.build((25, 4), seed=3))
+        assert first != kernel_fingerprint(family.build((75, 4), seed=2))
+        assert first != kernel_fingerprint(family.build((25, 8), seed=2))
+
+    def test_composes_both_behaviours(self):
+        """The instance carries real divergence (probability branches)
+        AND real streaming (cache-defeating loads), simultaneously."""
+        kernel = FAMILIES[self.FAMILY_KEY].build((25, 4))
+        instructions = [
+            instruction
+            for _, _, instruction in kernel.static_instructions()
+        ]
+        probability_branches = [
+            i for i in instructions if i.taken_probability is not None
+        ]
+        assert probability_branches
+        assert all(b.taken_probability == 0.25
+                   for b in probability_branches)
+        streaming = [
+            i for i in instructions
+            if i.opcode is Opcode.LD_GLOBAL
+            and i.mem.footprint_bytes >= 64 << 20
+        ]
+        assert len(streaming) == 4
+        assert len({load.mem.stream for load in streaming}) == 4
+
+    def test_resolves_through_workload_front_door(self):
+        from repro.workloads import get_kernel, workload_category
+        kernel = get_kernel("divergence-50+stream-2")
+        assert kernel.name == "divergence-50+stream-2"
+        assert workload_category("divergence-50+stream-2") == (
+            "register-insensitive"
+        )
 
 
 class TestFamilyConstruction:
