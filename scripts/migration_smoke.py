@@ -43,8 +43,8 @@ def run(workload_count: int) -> int:
 
     print(f"[2/5] exporting store records to legacy format -> {legacy_dir}")
     exported = 0
-    for key in source.result_store.keys():
-        write_legacy_entry(legacy_dir, key, source.result_store.get(key))
+    for record in source.results().records():
+        write_legacy_entry(legacy_dir, record.key, dict(record.payload))
         exported += 1
     print(f"      {exported} legacy entr(ies) written")
     if exported == 0:

@@ -92,12 +92,11 @@ def main() -> None:
     print()
     print(f"[engine] {runner.render_telemetry()}")
     if runner.result_store is not None:
-        stats = runner.result_store.stats()
-        print(f"[store] {stats.live_keys} record(s) in {stats.segments} "
-              f"segment(s) across {stats.shards} shard(s) at {stats.root}"
-              + (f"; {stats.superseded} superseded entr(ies) -- "
-                 "`python -m repro.cli store compact` reclaims them"
-                 if stats.superseded else ""))
+        runner.log_run("run_all_experiments"
+                       + (" --fast" if args.fast else ""))
+        # Same StoreStats.summary_line() that `store stats` renders, so
+        # the two can never drift apart.
+        print(f"[store] {runner.results().stats().summary_line()}")
 
 
 if __name__ == "__main__":

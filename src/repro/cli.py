@@ -19,6 +19,8 @@ Usage (after ``pip install -e .``):
     python -m repro.cli store verify
     python -m repro.cli store compact
     python -m repro.cli store migrate [LEGACY_DIR] [--delete-legacy]
+    python -m repro.cli report -o report/ [--baseline-policy BL]
+    python -m repro.cli diff-runs /path/to/storeA /path/to/storeB
 
 Workload arguments resolve through the registry
 (:mod:`repro.workloads.registry`): any suite name, any scenario-family
@@ -35,8 +37,14 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from typing import List, NoReturn, Optional
 
+from repro.analysis import (
+    build_report,
+    diff_runs,
+    discover_bench_files,
+    write_report,
+)
 from repro.arch import GPU, GPUConfig, arch_fingerprint, save_arch
 from repro.arch.registry import (
     ARCH_FILE_SUFFIX,
@@ -54,6 +62,7 @@ from repro.experiments.runner import default_cache_dir
 from repro.ir import kernel_fingerprint, save_kernel
 from repro.policies import POLICIES
 from repro.store import (
+    Query,
     ResultStore,
     StoreError,
     count_legacy_entries,
@@ -242,13 +251,55 @@ def _build_parser() -> argparse.ArgumentParser:
                 "--delete-legacy", action="store_true",
                 help="remove successfully ingested legacy files",
             )
+
+    report = sub.add_parser(
+        "report",
+        help="render an HTML+CSV report over the result store (IPC "
+             "deltas, telemetry, store health, BENCH perf trajectory); "
+             "exits 1 if the store holds no records",
+    )
+    report.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="store root (default: $LTRF_CACHE_DIR or ./.ltrf_cache)",
+    )
+    report.add_argument(
+        "-o", "--output", default="report", metavar="DIR",
+        help="output directory for report.html + CSVs (default: ./report)",
+    )
+    report.add_argument(
+        "--baseline-policy", default="BL", metavar="POLICY",
+        help="policy the IPC delta columns normalise against "
+             "(default: BL)",
+    )
+    report.add_argument(
+        "--bench-dir", default=".", metavar="DIR",
+        help="directory scanned for BENCH_*.json perf-history files "
+             "(default: current directory)",
+    )
+
+    diff = sub.add_parser(
+        "diff-runs",
+        help="pair the records of two stores and attribute every "
+             "difference to a cause (config/kernel/schema/payload)",
+    )
+    diff.add_argument("store_a", metavar="A", help="store root of run A")
+    diff.add_argument("store_b", metavar="B", help="store root of run B")
     return parser
 
 
 class _CliError(SystemExit):
     """Clean one-line CLI failure: the message has already been
     printed to stderr; carries the exit code (2, or 1 for a failed
-    store verify)."""
+    store verify / empty report)."""
+
+
+def _fail(message: str, code: int = 2) -> NoReturn:
+    """The one CLI failure path, shared by every subcommand: print
+    ``error: <message>`` to stderr and exit with ``code`` (2 for
+    usage/environment errors; 1 for a failed verification or an empty
+    report -- "ran fine, found a problem")."""
+    print(f"error: {message}", file=sys.stderr)
+    raise _CliError(code)
 
 
 def _require_json_suffix(path: str) -> None:
@@ -260,9 +311,8 @@ def _require_json_suffix(path: str) -> None:
     produce a file this same tool refuses to consume.
     """
     if not is_kernel_file_name(path):
-        print(f"error: kernel files must end in .json (got {path!r}); "
-              f"e.g. {path}{KERNEL_FILE_SUFFIX}", file=sys.stderr)
-        raise _CliError(2)
+        _fail(f"kernel files must end in .json (got {path!r}); "
+              f"e.g. {path}{KERNEL_FILE_SUFFIX}")
 
 
 def _resolve_workload(name: Optional[str],
@@ -279,23 +329,18 @@ def _resolve_workload(name: Optional[str],
     """
     if kernel_file is not None:
         if name is not None:
-            print("error: pass either a workload name or --kernel-file, "
-                  "not both", file=sys.stderr)
-            raise _CliError(2)
+            _fail("pass either a workload name or --kernel-file, not both")
         _require_json_suffix(kernel_file)
         name = kernel_file
     if name is None:
-        print("error: a workload name or --kernel-file is required",
-              file=sys.stderr)
-        raise _CliError(2)
+        _fail("a workload name or --kernel-file is required")
     try:
         default_registry().get_kernel(name)
     except ValueError as error:
         # Covers UnknownWorkloadError (difflib suggestions),
         # KernelSerializationError (bad/missing file), and out-of-range
         # scenario parameters -- all ValueError subclasses.
-        print(f"error: {error}", file=sys.stderr)
-        raise _CliError(2) from None
+        _fail(str(error))
     return name
 
 
@@ -311,8 +356,7 @@ def _make_runner() -> Runner:
     try:
         return Runner()
     except (ValueError, StoreError) as error:
-        print(f"error: {error}", file=sys.stderr)
-        raise _CliError(2) from None
+        _fail(str(error))
 
 
 def _require_arch_json_suffix(path: str) -> None:
@@ -324,10 +368,8 @@ def _require_arch_json_suffix(path: str) -> None:
     refuses to consume.
     """
     if not is_arch_file_name(path):
-        print(f"error: architecture files must end in .json "
-              f"(got {path!r}); e.g. {path}{ARCH_FILE_SUFFIX}",
-              file=sys.stderr)
-        raise _CliError(2)
+        _fail(f"architecture files must end in .json (got {path!r}); "
+              f"e.g. {path}{ARCH_FILE_SUFFIX}")
 
 
 def _resolve_arch_config(name: str) -> GPUConfig:
@@ -341,8 +383,7 @@ def _resolve_arch_config(name: str) -> GPUConfig:
     try:
         return default_arch_registry().get_config(name)
     except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        raise _CliError(2) from None
+        _fail(str(error))
 
 
 def _select_arch(args) -> str:
@@ -358,9 +399,8 @@ def _select_arch(args) -> str:
                                        ("--config", args.config))
               if value is not None]
     if len(chosen) > 1:
-        print(f"error: pass only one of --arch, --arch-file or --config "
-              f"(got {' and '.join(chosen)})", file=sys.stderr)
-        raise _CliError(2)
+        _fail(f"pass only one of --arch, --arch-file or --config "
+              f"(got {' and '.join(chosen)})")
     if args.arch_file is not None:
         _require_arch_json_suffix(args.arch_file)
         return args.arch_file
@@ -430,11 +470,10 @@ def _cmd_experiment(names: List[str], jobs: int,
     if arch is not None:
         unsupported = [name for name in selected if name not in ARCH_AWARE]
         if unsupported:
-            print(f"error: --arch only applies to the latency-sweep "
-                  f"figures ({', '.join(sorted(ARCH_AWARE))}); "
+            _fail(f"--arch only applies to the latency-sweep figures "
+                  f"({', '.join(sorted(ARCH_AWARE))}); "
                   f"{unsupported[0]!r} reproduces a fixed paper "
-                  "configuration", file=sys.stderr)
-            raise _CliError(2)
+                  "configuration")
         _resolve_arch_config(arch)      # fail fast, before any simulation
     runner = _make_runner()
     for name in selected:
@@ -444,6 +483,7 @@ def _cmd_experiment(names: List[str], jobs: int,
             result = EXPERIMENTS[name](runner, jobs)
         print(result.render())
         print()
+    runner.log_run(f"experiment {' '.join(selected)}")
     print(f"[engine] {runner.render_telemetry()}")
 
 
@@ -475,6 +515,7 @@ def _cmd_sweep(args) -> None:
             label = f"{policy}@{arch}" if len(archs) > 1 else policy
             print(f"{label:{label_width}s} {curve}  "
                   f"-> tolerates {tolerable:.1f}x")
+    runner.log_run(f"sweep {workload}")
 
 
 def _cmd_export_kernel(args) -> None:
@@ -488,8 +529,7 @@ def _cmd_export_kernel(args) -> None:
     try:
         save_kernel(kernel, output)
     except OSError as error:
-        print(f"error: cannot write {output!r}: {error}", file=sys.stderr)
-        raise _CliError(2) from None
+        _fail(f"cannot write {output!r}: {error}")
     print(f"exported {workload} -> {output} "
           f"(fingerprint {kernel_fingerprint(kernel)})")
 
@@ -504,8 +544,7 @@ def _cmd_export_arch(args) -> None:
     try:
         save_arch(config, output)
     except OSError as error:
-        print(f"error: cannot write {output!r}: {error}", file=sys.stderr)
-        raise _CliError(2) from None
+        _fail(f"cannot write {output!r}: {error}")
     print(f"exported {args.arch} -> {output} "
           f"(fingerprint {arch_fingerprint(config)})")
 
@@ -531,8 +570,7 @@ def _store_root(args) -> str:
     try:
         return default_cache_dir()
     except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        raise _CliError(2) from None
+        _fail(str(error))
 
 
 def _open_store(root: str, must_exist: bool) -> ResultStore:
@@ -545,9 +583,8 @@ def _open_store(root: str, must_exist: bool) -> ResultStore:
     initialising a store there and reporting an empty "OK".
     """
     if must_exist and not os.path.isdir(root):
-        print(f"error: no result store at {root!r} (nothing simulated "
-              "yet, or wrong --dir/$LTRF_CACHE_DIR?)", file=sys.stderr)
-        raise _CliError(2)
+        _fail(f"no result store at {root!r} (nothing simulated "
+              "yet, or wrong --dir/$LTRF_CACHE_DIR?)")
     try:
         return ResultStore(root, create=not must_exist)
     except (StoreError, OSError) as error:
@@ -556,8 +593,7 @@ def _open_store(root: str, must_exist: bool) -> ResultStore:
             hint = (f"; it holds {count_legacy_entries(root)} legacy "
                     "flat-file entr(ies) -- run `store migrate` to "
                     "ingest them first")
-        print(f"error: {error}{hint}", file=sys.stderr)
-        raise _CliError(2) from None
+        _fail(f"{error}{hint}")
 
 
 def _legacy_note(store: ResultStore) -> None:
@@ -570,9 +606,12 @@ def _legacy_note(store: ResultStore) -> None:
 def _cmd_store(args) -> None:
     root = _store_root(args)
     if args.store_command == "stats":
-        store = _open_store(root, must_exist=True)
-        print(store.stats().render())
-        _legacy_note(store)
+        # Through the query API, like every other reader: `store stats`
+        # and run_all_experiments' [store] line render the same
+        # StoreStats, so they agree by construction.
+        query = Query(_open_store(root, must_exist=True))
+        print(query.stats().render())
+        _legacy_note(query.store)
     elif args.store_command == "verify":
         store = _open_store(root, must_exist=True)
         report = store.verify()
@@ -585,9 +624,7 @@ def _cmd_store(args) -> None:
     elif args.store_command == "migrate":
         legacy_dir = args.legacy_dir if args.legacy_dir is not None else root
         if not os.path.isdir(legacy_dir):
-            print(f"error: no such legacy cache directory: {legacy_dir!r}",
-                  file=sys.stderr)
-            raise _CliError(2)
+            _fail(f"no such legacy cache directory: {legacy_dir!r}")
         store = _open_store(root, must_exist=False)
         report = migrate_legacy_dir(
             legacy_dir, store, delete_legacy=args.delete_legacy
@@ -596,14 +633,39 @@ def _cmd_store(args) -> None:
         print(report.render())
 
 
+def _cmd_report(args) -> None:
+    root = _store_root(args)
+    query = Query(_open_store(root, must_exist=True))
+    report = build_report(
+        query,
+        baseline_policy=args.baseline_policy,
+        bench_paths=discover_bench_files(args.bench_dir),
+    )
+    if report.record_count == 0:
+        _fail(f"store at {root!r} holds no records; run a sweep or "
+              "experiment first", code=1)
+    try:
+        paths = write_report(report, args.output)
+    except OSError as error:
+        _fail(f"cannot write report to {args.output!r}: {error}")
+    print(report.summary_text())
+    for name in sorted(paths):
+        print(f"  wrote {paths[name]}")
+
+
+def _cmd_diff_runs(args) -> None:
+    query_a = Query(_open_store(args.store_a, must_exist=True))
+    query_b = Query(_open_store(args.store_b, must_exist=True))
+    print(diff_runs(query_a, query_b).render())
+
+
 def _cmd_list_workloads(args) -> None:
     registry = default_registry()
     if args.family is not None:
         try:
             family = registry.family(args.family)
         except UnknownWorkloadError as error:
-            print(f"error: {error}", file=sys.stderr)
-            raise _CliError(2) from None
+            _fail(str(error))
         print(f"family    {family.prefix}")
         print(f"about     {family.description}")
         print(f"parameter {family.parameter}")
@@ -656,6 +718,10 @@ def main(argv: List[str] = None) -> int:
             _cmd_sweep(args)
         elif args.command == "store":
             _cmd_store(args)
+        elif args.command == "report":
+            _cmd_report(args)
+        elif args.command == "diff-runs":
+            _cmd_diff_runs(args)
     except _CliError as error:
         return int(error.code)
     return 0

@@ -33,6 +33,7 @@ import hashlib
 import json
 import os
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field, fields, is_dataclass
@@ -40,11 +41,11 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.arch.config import GPUConfig
 from repro.arch.registry import arch_config
-from repro.arch.serialize import fingerprint_of_arch
+from repro.arch.serialize import arch_to_dict, fingerprint_of_arch
 from repro.arch.sm import StreamingMultiprocessor
 from repro.compiler.cache import STATS as COMPILE_STATS
 from repro.policies import policy_by_name
-from repro.store import ResultStore
+from repro.store import Query, ResultStore
 from repro.workloads import (
     UnknownWorkloadError,
     resolve_workload,
@@ -432,8 +433,17 @@ class Runner:
         # Fingerprints are memoised per process, so this costs one
         # kernel build per workload name and one hash per distinct
         # configuration.
+        arch_fp = fingerprint_of_arch(config)
+        if self.result_store is not None:
+            # Keep the store's arch manifest complete: every
+            # fingerprint a key embeds has its full description
+            # alongside the records, so the query layer can resolve
+            # `a<fp>` back to concrete hardware (e.g. latency filters
+            # in `repro report`).  record_arch memoises per
+            # fingerprint, so this is a set lookup on the hot path.
+            self.result_store.record_arch(arch_fp, arch_to_dict(config))
         return (
-            f"{workload}__{policy}__a{fingerprint_of_arch(config)}__{seed}"
+            f"{workload}__{policy}__a{arch_fp}__{seed}"
             f"__k{workload_fingerprint(workload)}"
         )
 
@@ -471,7 +481,14 @@ class Runner:
             return key
         return f"{key.rsplit('__k', 1)[0]}__k{fingerprint}"
 
-    def _load(self, key: str) -> Optional[RunRecord]:
+    def lookup(self, key: str) -> Optional[RunRecord]:
+        """The cached record under ``key``, or ``None`` on a miss.
+
+        The public read path (memory cache, then the result store):
+        figure renderers and scripts consume warm records through this
+        -- and through :meth:`results` for whole-store queries --
+        instead of poking the runner's cache internals.
+        """
         if key in self._memory_cache:
             self.stats.memory_hits += 1
             return self._memory_cache[key]
@@ -492,9 +509,23 @@ class Runner:
         self._memory_cache[key] = record
         return record
 
+    def results(self) -> Query:
+        """A :class:`~repro.store.Query` over this runner's store.
+
+        The sanctioned way to read everything this (or any concurrent)
+        runner has persisted -- filters, projections, group-by and
+        aggregations live on the query object.
+        """
+        if self.result_store is None:
+            raise ValueError(
+                "this Runner has no result store (cache_dir=None); "
+                "construct it with a cache directory to query results"
+            )
+        return Query(self.result_store)
+
     def _load_or_migrate(self, key: str,
                          request: SimRequest) -> Optional[RunRecord]:
-        """:meth:`_load`, falling back to the legacy key format.
+        """:meth:`lookup`, falling back to the legacy key format.
 
         A record found only under the legacy key is re-homed: stored
         again under the current arch-fingerprint key, so the probe cost
@@ -503,7 +534,7 @@ class Runner:
         in place -- the store is append-only and old readers may still
         address it.
         """
-        record = self._load(key)
+        record = self.lookup(key)
         if record is not None:
             return record
         if self.result_store is None:
@@ -717,6 +748,34 @@ class Runner:
             "compile_cache_misses": stats.compile_cache_misses,
             "compile_seconds": stats.compile_seconds,
         }
+
+    def log_run(self, label: str) -> Optional[Dict[str, object]]:
+        """Persist this runner's telemetry summary into the store.
+
+        One JSONL entry under the store's ``runs/`` sidecar (written
+        through the store, never by path), labelled so reports can say
+        *which* sweep produced the numbers.  Telemetry is host-specific
+        and advisory, which is why it lives beside -- not inside -- the
+        deterministic record segments.  Returns the logged entry, or
+        ``None`` when the runner has no store or simulated nothing
+        worth recording (no simulations and no cache traffic).
+        """
+        if self.result_store is None:
+            return None
+        summary = self.telemetry_summary()
+        if not summary["simulations"] and not summary["cache_hits"]:
+            return None
+        entry: Dict[str, object] = {
+            "label": label,
+            "time": time.time(),
+            "pool_retries": self.stats.pool_retries,
+            "batch_requests": self.stats.batch_requests,
+            "memory_hits": self.stats.memory_hits,
+            "disk_hits": self.stats.disk_hits,
+        }
+        entry.update(summary)
+        self.result_store.append_run_log(entry)
+        return entry
 
     def render_telemetry(self) -> str:
         """One-paragraph human-readable version of the summary."""

@@ -1,4 +1,5 @@
-"""Sharded, crash-consistent result store (see result_store.py)."""
+"""Sharded, crash-consistent result store (see result_store.py) and
+the one query API every consumer reads it through (see query.py)."""
 
 from repro.store.legacy import (
     MigrationReport,
@@ -7,6 +8,13 @@ from repro.store.legacy import (
     legacy_entry_name,
     migrate_legacy_dir,
     write_legacy_entry,
+)
+from repro.store.query import (
+    AGGREGATORS,
+    ParsedKey,
+    Query,
+    StoredRecord,
+    parse_key,
 )
 from repro.store.result_store import (
     DEFAULT_SHARDS,
@@ -18,16 +26,21 @@ from repro.store.result_store import (
 )
 
 __all__ = [
+    "AGGREGATORS",
     "CompactionReport",
     "DEFAULT_SHARDS",
     "MigrationReport",
+    "ParsedKey",
+    "Query",
     "ResultStore",
     "StoreError",
     "StoreStats",
+    "StoredRecord",
     "VerifyReport",
     "count_legacy_entries",
     "iter_legacy_entries",
     "legacy_entry_name",
     "migrate_legacy_dir",
+    "parse_key",
     "write_legacy_entry",
 ]

@@ -47,7 +47,7 @@ import hashlib
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.util import atomic_write_text
 
@@ -65,6 +65,19 @@ DEFAULT_SEGMENT_BYTES = 1 << 20
 _SHARD_PREFIX = "shard-"
 _SEGMENT_PREFIX = "seg-"
 _SEGMENT_SUFFIX = ".jsonl"
+#: Sidecar directory of architecture descriptions, one
+#: ``<fingerprint>.json`` per distinct configuration ever simulated
+#: into this store.  Each file is a complete ``ltrf-arch`` payload, so
+#: the query layer can map the ``a<fp>`` key segment back to concrete
+#: hardware parameters (e.g. the MRF latency multiple a sweep varied).
+_ARCH_DIR = "archs"
+#: Sidecar directory of run-telemetry logs: one JSONL file per writer,
+#: one line per completed run (sweep/experiment/CLI invocation).
+#: Telemetry is host-specific by design and therefore kept out of the
+#: record segments -- records must stay byte-identical across engines
+#: and machines, while these logs feed `repro report`'s telemetry
+#: section.
+_RUNS_DIR = "runs"
 
 
 class StoreError(Exception):
@@ -85,6 +98,23 @@ class StoreStats:
     torn_tails: int       # segments ending in a partial line
     bytes: int
 
+    def summary_line(self) -> str:
+        """One-line shape summary.
+
+        The *single* formatting of "how big is this store": both
+        ``store stats`` (via :meth:`render`) and
+        ``run_all_experiments``'s ``[store]`` line print this exact
+        string, so the two can never drift apart.
+        """
+        text = (
+            f"{self.live_keys} record(s) in {self.segments} segment(s) "
+            f"across {self.shards} shard(s) at {self.root}"
+        )
+        if self.superseded:
+            text += (f"; {self.superseded} superseded entr(ies) -- "
+                     "`python -m repro.cli store compact` reclaims them")
+        return text
+
     def render(self) -> str:
         return (
             f"store {self.root}\n"
@@ -94,7 +124,8 @@ class StoreStats:
             f"  records     {self.live_keys} live key(s), "
             f"{self.superseded} superseded, {self.entries} total entr(ies)\n"
             f"  damage      {self.corrupt_lines} corrupt line(s), "
-            f"{self.torn_tails} torn tail(s)"
+            f"{self.torn_tails} torn tail(s)\n"
+            f"  summary     {self.summary_line()}"
         )
 
 
@@ -235,6 +266,7 @@ class ResultStore:
         # file: pid guards cross-process, the counter guards multiple
         # stores in one process (common in tests and tooling).
         self._writer_id = f"w{os.getpid()}-{next(_INSTANCE_COUNTER)}"
+        self._archs_recorded = set()
 
     # -- format marker ------------------------------------------------------
 
@@ -431,6 +463,94 @@ class ResultStore:
         state.writer_rank = (seq, self._writer_id)
         state.scanned[path] = 0
         return handle
+
+    # -- sidecars (arch manifest + run-telemetry logs) ----------------------
+
+    def record_arch(self, fingerprint: str, payload: dict) -> None:
+        """Persist the architecture description behind ``fingerprint``.
+
+        Written once per fingerprint as ``archs/<fp>.json`` (a complete
+        ``ltrf-arch`` payload, loadable with ``--arch-file``), so the
+        query layer can resolve the ``a<fp>`` segment of a record key
+        back to concrete hardware parameters.  Idempotent and cheap:
+        memoised per instance, and an existing file is never rewritten
+        (the fingerprint pins its content).
+        """
+        if fingerprint in self._archs_recorded:
+            return
+        self._archs_recorded.add(fingerprint)
+        directory = os.path.join(self.root, _ARCH_DIR)
+        path = os.path.join(directory, f"{fingerprint}.json")
+        if os.path.exists(path):
+            return
+        os.makedirs(directory, exist_ok=True)
+        atomic_write_text(
+            path, json.dumps(payload, sort_keys=True, indent=1) + "\n"
+        )
+
+    def arch_payload(self, fingerprint: str) -> Optional[dict]:
+        """The recorded architecture description for ``fingerprint``,
+        or ``None`` if this store never saw it (pre-manifest entries)
+        or the sidecar file is unreadable."""
+        path = os.path.join(self.root, _ARCH_DIR, f"{fingerprint}.json")
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def arch_fingerprints(self) -> List[str]:
+        """All fingerprints with a recorded architecture description."""
+        try:
+            names = os.listdir(os.path.join(self.root, _ARCH_DIR))
+        except OSError:
+            return []
+        return sorted(
+            name[:-len(".json")] for name in names if name.endswith(".json")
+        )
+
+    def append_run_log(self, payload: dict) -> None:
+        """Append one run-telemetry entry (a JSON-serialisable dict).
+
+        Each writer appends to its own ``runs/run-<writer>.jsonl`` (the
+        same no-interleaving discipline as record segments).  Called
+        once per completed run, so the open/close per append is noise.
+        """
+        directory = os.path.join(self.root, _RUNS_DIR)
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"run-{self._writer_id}.jsonl")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            handle.flush()
+
+    def iter_run_logs(self) -> Iterator[dict]:
+        """Every parseable run-telemetry entry, in (file, line) order.
+
+        Corrupt lines are skipped: telemetry is advisory (it feeds
+        reports, never results), so a torn tail must not fail a query.
+        """
+        directory = os.path.join(self.root, _RUNS_DIR)
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".jsonl"):
+                continue
+            try:
+                with open(directory + os.sep + name, encoding="utf-8") \
+                        as handle:
+                    lines = handle.readlines()
+            except OSError:
+                continue
+            for line in lines:
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(entry, dict):
+                    yield entry
 
     # -- maintenance --------------------------------------------------------
 

@@ -107,7 +107,7 @@ class TestCacheHardening:
                 handle.seek(0, os.SEEK_END)
                 handle.truncate(handle.tell() - 10)    # tear the tail
         fresh = Runner(cache_dir=str(tmp_path))
-        assert fresh._load(fresh.request_key(request)) is None
+        assert fresh.lookup(fresh.request_key(request)) is None
         regenerated = fresh.simulate(request.workload, request.policy, SMALL)
         assert regenerated == record
         assert fresh.stats.simulated == 1
@@ -120,11 +120,11 @@ class TestCacheHardening:
         runner.result_store.put(
             key, {"workload": "btree", "unknown_field": 1}
         )
-        assert runner._load(key) is None
+        assert runner.lookup(key) is None
         record = runner.simulate(request.workload, request.policy, SMALL)
         # The re-simulated record shadows the stale entry for readers.
         fresh = Runner(cache_dir=str(tmp_path))
-        assert fresh._load(key) == record
+        assert fresh.lookup(key) == record
 
     def test_store_leaves_no_temp_files(self, tmp_path):
         runner = Runner(cache_dir=str(tmp_path))

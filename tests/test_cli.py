@@ -175,6 +175,90 @@ class TestStoreCommand:
         assert "set but empty" in capsys.readouterr().err
 
 
+class TestReportingCommands:
+    """The `report` and `diff-runs` analysis surface."""
+
+    def _swept(self, tmp_path, name="store"):
+        from repro.arch import GPUConfig
+        from repro.experiments import Runner
+        root = str(tmp_path / name)
+        runner = Runner(cache_dir=root)
+        for policy in ("BL", "LTRF"):
+            runner.simulate(
+                "btree", policy,
+                GPUConfig(max_resident_warps=8, active_warps=4),
+            )
+        runner.log_run("cli-test")
+        runner.result_store.close()
+        return root
+
+    def test_report_writes_artifacts(self, capsys, tmp_path):
+        import os
+        root = self._swept(tmp_path)
+        out = str(tmp_path / "out")
+        assert main(["report", "--dir", root, "-o", out,
+                     "--bench-dir", str(tmp_path)]) == 0
+        printed = capsys.readouterr().out
+        assert "2 record(s)" in printed
+        for name in ("report.html", "records.csv", "deltas.csv",
+                     "bench_trajectory.csv"):
+            assert name in printed
+            assert os.path.exists(os.path.join(out, name))
+
+    def test_report_on_empty_store_exits_1(self, capsys, tmp_path):
+        from repro.store import ResultStore
+        root = str(tmp_path / "empty")
+        ResultStore(root, create=True).close()
+        assert main(["report", "--dir", root,
+                     "-o", str(tmp_path / "out")]) == 1
+        assert "holds no records" in capsys.readouterr().err
+
+    def test_report_on_missing_store_exits_2(self, capsys, tmp_path):
+        assert main(["report", "--dir", str(tmp_path / "gone"),
+                     "-o", str(tmp_path / "out")]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_diff_runs_identical_stores(self, capsys, tmp_path):
+        root_a = self._swept(tmp_path, "a")
+        root_b = self._swept(tmp_path, "b")
+        assert main(["diff-runs", root_a, root_b]) == 0
+        out = capsys.readouterr().out
+        assert "2 unchanged, 0 changed" in out
+        assert "agree on every grid point" in out
+
+    def test_diff_runs_missing_store_exits_2(self, capsys, tmp_path):
+        root = self._swept(tmp_path)
+        assert main(["diff-runs", root, str(tmp_path / "gone")]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+
+class TestErrorContract:
+    """Every CLI failure goes through the shared `_fail` helper:
+    exactly one `error:`-prefixed stderr line and exit code 2 (or 1
+    for ran-fine-found-a-problem outcomes like a failed verify)."""
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "backprp"],                       # unknown workload
+        ["simulate", "--kernel-file", "kernel.txt"],   # bad suffix
+        ["simulate", "btree", "--arch", "maxwel-like"],
+        ["store", "stats", "--dir", "/nonexistent-store-dir"],
+        ["report", "--dir", "/nonexistent-store-dir"],
+        ["diff-runs", "/nonexistent-a", "/nonexistent-b"],
+        ["export-kernel", "btree", "-o", "bt.kernel"],
+        ["list-workloads", "--family", "nope"],
+    ])
+    def test_exit_2_with_error_prefix(self, capsys, argv):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_no_tool_prints_errors_to_stdout(self, capsys):
+        assert main(["simulate", "backprp"]) == 2
+        captured = capsys.readouterr()
+        assert "error:" not in captured.out
+
+
 class TestWorkloadFrontend:
     """Registry-backed workload resolution on the CLI."""
 
