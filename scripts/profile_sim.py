@@ -41,9 +41,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--policy", default="LTRF",
                         help="register policy (default: LTRF)")
     parser.add_argument("--engine", default=None,
-                        choices=("event", "dense"),
+                        choices=("event", "dense", "replay"),
                         help="scheduling engine (default: event / "
                              "LTRF_SIM_ENGINE)")
+    parser.add_argument("--compare-engines", action="store_true",
+                        help="instead of profiling, time the workload's "
+                             "full latency sweep (fig11 grid row) once "
+                             "per engine and print a wall-clock table "
+                             "(replay timing includes its recording run)")
     parser.add_argument("--latency", type=float, default=1.0,
                         help="MRF latency multiple (default: 1.0)")
     parser.add_argument("--grid", action="store_true",
@@ -88,6 +93,9 @@ def main(argv=None) -> int:
     if args.engine is not None:
         os.environ["LTRF_SIM_ENGINE"] = args.engine
 
+    if args.compare_engines:
+        return compare_engines(args)
+
     if args.grid:
         requests = sweep_requests(args.policy, args.workload)
     else:
@@ -122,6 +130,58 @@ def main(argv=None) -> int:
         stats.dump_stats(args.output)
         print(f"raw pstats written to {args.output}")
     stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+def compare_engines(args) -> int:
+    """Time one fig11-shaped grid row per engine and print a table.
+
+    Each engine runs the identical request list through a fresh
+    telemetry-only :class:`Runner` (no result cache -- every point
+    genuinely simulates).  The process-wide static caches are warmed
+    once up front so every engine sees the same amortised steady
+    state; the replay engine's timeline cache is cleared before its
+    turn, so its wall-clock honestly includes the one recording run a
+    cold sweep would pay.
+    """
+    from repro.arch.sm import StreamingMultiprocessor  # noqa: F401
+    from repro.compiler import cache
+    from repro.experiments.latency_tolerance import sweep_requests
+    from repro.experiments.runner import (
+        Runner,
+        execute_request_with_telemetry,
+    )
+
+    requests = list(sweep_requests(args.policy, args.workload))
+    # Warm kernel build / compile / trace caches (not timed).
+    execute_request_with_telemetry(requests[0])
+
+    rows = []
+    for engine in ("dense", "event", "replay"):
+        os.environ["LTRF_SIM_ENGINE"] = engine
+        cache._timelines.clear()
+        runner = Runner(cache_dir=None)
+        started = time.perf_counter()
+        for request in requests:
+            _, telemetry = execute_request_with_telemetry(request)
+            runner.stats.simulated += 1
+            runner.stats.note_telemetry(telemetry)
+        rows.append((engine, time.perf_counter() - started, runner.stats))
+    os.environ.pop("LTRF_SIM_ENGINE", None)
+
+    event_wall = next(wall for engine, wall, _ in rows if engine == "event")
+    print(f"engine comparison: {args.workload} x {args.policy} x "
+          f"{len(requests)}-point latency row (identical results by "
+          "construction; see tests/arch/test_engine_equivalence.py)")
+    print(f"{'engine':8s} {'wall':>8s} {'vs event':>9s}  outcome")
+    for engine, wall, stats in rows:
+        speed = event_wall / wall if wall else float("inf")
+        outcome = "-"
+        if engine == "replay":
+            outcome = (f"{stats.replays_served} replayed, "
+                       f"{stats.replays_recorded} recorded, "
+                       f"{stats.replay_fallbacks} fallback(s)")
+        print(f"{engine:8s} {wall:7.2f}s {speed:8.2f}x  {outcome}")
     return 0
 
 

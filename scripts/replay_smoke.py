@@ -1,0 +1,112 @@
+"""CI smoke: the replay engine renders fig11 byte-for-byte like event.
+
+Renders a fast fig11 (two workloads, all four policies, the full
+seven-point latency grid) twice -- once per engine, each into its own
+fresh result store so every point genuinely simulates -- and diffs
+both rendered tables against the committed event-engine golden
+(``tests/golden/fig11_fast.txt``):
+
+* event vs golden catches a stale golden (kernel/model changes): the
+  fix is re-running with ``--update`` and committing the new table;
+* replay vs golden is the gate this script exists for: switching
+  engines must never change a rendered figure, not by a byte,
+  regardless of how many points replayed vs fell back.
+
+The script also fails if the replay engine never actually recorded a
+timeline -- a misrouted ``LTRF_SIM_ENGINE`` would otherwise make the
+diff vacuously green.
+
+Usage:
+    PYTHONPATH=src python scripts/replay_smoke.py            # gate
+    PYTHONPATH=src python scripts/replay_smoke.py --update   # re-golden
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import os
+import pathlib
+import sys
+import tempfile
+
+GOLDEN = (pathlib.Path(__file__).resolve().parent.parent
+          / "tests" / "golden" / "fig11_fast.txt")
+
+#: Small mixed-category subset: one compute-ish and one memory-ish
+#: workload keep the smoke under a minute while still exercising
+#: replayed and fallen-back points.
+WORKLOADS = ["btree", "kmeans"]
+
+
+def render_with(engine: str, tmp: str):
+    """Render the fast fig11 under ``engine`` into a fresh store."""
+    os.environ["LTRF_SIM_ENGINE"] = engine
+    from repro.compiler import cache
+    from repro.experiments.latency_tolerance import fig11
+    from repro.experiments.runner import Runner
+
+    cache._timelines.clear()
+    runner = Runner(cache_dir=os.path.join(tmp, engine))
+    result = fig11(runner, workloads=WORKLOADS, jobs=1)
+    return result.render() + "\n", runner.stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true",
+                        help="regenerate the committed golden from the "
+                             "event engine instead of gating")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        event_text, _ = render_with("event", tmp)
+        if args.update:
+            GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+            GOLDEN.write_text(event_text)
+            print(f"golden updated: {GOLDEN}")
+            return 0
+
+        if not GOLDEN.exists():
+            print(f"error: no golden at {GOLDEN}; run with --update "
+                  "and commit the result", file=sys.stderr)
+            return 2
+        golden = GOLDEN.read_text()
+        if event_text != golden:
+            sys.stderr.writelines(difflib.unified_diff(
+                golden.splitlines(keepends=True),
+                event_text.splitlines(keepends=True),
+                fromfile=str(GOLDEN), tofile="event engine (fresh)",
+            ))
+            print("error: committed golden is stale relative to the "
+                  "event engine; regenerate with --update and commit",
+                  file=sys.stderr)
+            return 1
+
+        replay_text, stats = render_with("replay", tmp)
+    os.environ.pop("LTRF_SIM_ENGINE", None)
+
+    if replay_text != golden:
+        sys.stderr.writelines(difflib.unified_diff(
+            golden.splitlines(keepends=True),
+            replay_text.splitlines(keepends=True),
+            fromfile=str(GOLDEN), tofile="replay engine",
+        ))
+        print("error: replay engine rendered a different fig11 table",
+              file=sys.stderr)
+        return 1
+    if stats.replays_recorded == 0:
+        print("error: replay engine never recorded a timeline -- the "
+              "engine switch did not take effect", file=sys.stderr)
+        return 1
+
+    print(f"replay fig11 smoke OK: table byte-identical to golden "
+          f"({stats.replays_recorded} recorded, "
+          f"{stats.replays_served} replayed, "
+          f"{stats.replay_fallbacks_static} static + "
+          f"{stats.replay_fallbacks_diverged} diverged fallback(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,11 @@ _TELEMETRY_TOTALS = (
     "simulated_instructions", "cycles_skipped", "kernel_builds",
     "kernel_build_seconds", "compile_cache_hits", "compile_cache_misses",
     "compile_seconds", "pool_retries",
+    # Replay-engine outcome counters (zero for runs on other engines;
+    # absent entirely in run logs written before the replay engine
+    # existed -- the summing loop treats missing keys as zero).
+    "replays_served", "replays_recorded", "replay_fallbacks_static",
+    "replay_fallbacks_diverged",
 )
 
 
@@ -380,6 +385,14 @@ def _html_document(report: SweepReport) -> str:
                 ("compile cache hit rate",
                  telemetry["compile_cache_hit_rate"]),
                 ("pool retries", int(telemetry["pool_retries"])),
+                ("replay: served from timeline",
+                 int(telemetry["replays_served"])),
+                ("replay: recordings",
+                 int(telemetry["replays_recorded"])),
+                ("replay: static fallbacks",
+                 int(telemetry["replay_fallbacks_static"])),
+                ("replay: diverged fallbacks",
+                 int(telemetry["replay_fallbacks_diverged"])),
             ],
         ))
         sections.append(_table(

@@ -72,6 +72,24 @@ class EventQueue:
         heappush(self._heap, (cycle, self._seq, kind, payload))
         self._seq += 1
 
+    def fold_batched(self, seq: int, memory: int = 0, prefetch: int = 0,
+                     scoreboard: int = 0, drain: int = 0) -> None:
+        """Fold an engine's locally batched push accounting back in.
+
+        The event and replay engines inline their heap pushes against a
+        local sequence counter and per-kind tallies (the per-push
+        method dispatch is measurable at millions of events); on exit
+        they hand the batch back here so telemetry (:attr:`counts`) and
+        any later pushes observe the same state as unbatched
+        :meth:`push` calls would have produced.
+        """
+        self._seq = seq
+        counts = self.counts
+        counts[EventKind.MEMORY_RESPONSE] += memory
+        counts[EventKind.PREFETCH_ARRIVAL] += prefetch
+        counts[EventKind.SCOREBOARD_RELEASE] += scoreboard
+        counts[EventKind.WCB_DRAIN] += drain
+
     def peek_cycle(self) -> Optional[int]:
         """Cycle of the earliest pending event, or None when empty."""
         return self._heap[0][0] if self._heap else None

@@ -1,0 +1,1057 @@
+"""Tier-3 replay engine: latency-parameterized trace replay.
+
+The headline figures (fig11-14) sweep a latency knob over otherwise
+identical (kernel, policy) points, yet the event engine re-runs the
+full policy stack -- working-set evolution, LRU slices, liveness
+bookkeeping, invariant checks -- at every grid point, even though none
+of those *structural* decisions depend on the latency being swept.
+This engine splits the two concerns:
+
+* **Record** (once per grid row): run the event engine with the policy
+  wrapped in a recording proxy that logs, per warp and per trace
+  position, exactly which MRF banks each hook touched, every
+  cycle-independent latency it returned, and the ``to_mrf``
+  (deactivation) flag each result write was handed.  The flattened
+  per-position log is the *timeline*: the latency-parameterized
+  dependency structure of the run (issue order constraints live in the
+  scoreboard/hazard arrays; memory requests keep their addresses; RFC
+  hit/miss classes and WCB drains become recorded bank lists).  It is
+  cached in :mod:`repro.compiler.cache` keyed by ``(kernel
+  fingerprint, policy, seed, resident warps, arch fingerprint with the
+  latency knobs struck out)``.
+
+* **Replay** (every other point of the row): re-run the *scheduling
+  skeleton* -- wake-up heap, round-robin issue, scoreboard, live
+  :class:`~repro.arch.main_register_file.BankCalendar` reservations
+  and a live :class:`~repro.arch.memory.MemoryHierarchy` at the new
+  latency -- but replace every policy hook with its recorded step: a
+  precomputed constant or a flat list of bank ids to reserve.  No
+  policy objects, no RFC/WCB bookkeeping, no per-instruction attribute
+  chains: each step is one flat tuple.
+
+Separability and the fallback ladder
+------------------------------------
+
+Replay is *exact*, never approximate: a replayed point's
+:class:`~repro.arch.sm.SimulationResult` equals the event engine's at
+that latency, field for field (pinned by
+``tests/arch/test_engine_equivalence.py``).  Three guards make that
+safe:
+
+1. **Static gate** -- only policies declaring
+   :attr:`~repro.policies.base.RegisterPolicy.latency_separable` are
+   recorded; anything else routes straight through the event engine
+   (``fallback-static``).
+2. **Shape check at record time** -- the recorded hook streams must
+   match the shapes the replayer understands (operand = optional RFC
+   constant floor + MRF reads; results = plain writes; prefetch /
+   activate / drain = at most one bulk transfer).  A policy that
+   passes the static gate but records an unsupported shape caches a
+   non-replayable timeline and every point of the row falls back.
+3. **Live divergence check at replay time** -- L1/LLC hit levels
+   depend on the *global* interleaving of memory accesses, which a
+   latency change can reorder; a load whose live hit level implies a
+   different deactivation decision than the recorded one invalidates
+   the warp's remaining recorded stream, so replay aborts and the
+   point re-runs on the event engine (``fallback-diverged``).  Every
+   deactivation flag is validated at issue, so a completed replay
+   proves its own structural premise.
+
+Telemetry: each produced result carries ``replay_outcome`` --
+``recorded`` | ``replayed`` | ``fallback-static`` |
+``fallback-diverged`` -- which the runner aggregates into
+replayed/recorded/fallback counters (surfaced by ``repro report`` and
+the CLI telemetry line).
+"""
+
+from __future__ import annotations
+
+import time
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.events import EventKind, EventQueue
+from repro.arch.main_register_file import BankCalendar
+from repro.arch.memory import MemoryHierarchy
+from repro.arch.serialize import fingerprint_of_arch_sans_latency
+from repro.compiler.cache import (
+    cached_kernel_fingerprint,
+    cached_trace_list,
+    store_timeline,
+    timeline_for,
+)
+from repro.ir.instruction import Opcode
+
+#: Step-tuple kinds (index 0 of every step; hazard registers are always
+#: index 1 so the requeue probe is uniform).
+_PREFETCH = 0        # (0, hazard, bw_banks|None, br_banks|None, br_add)
+_FIXED_CONST = 1     # (1, hazard, dsts, complete_delta, w_banks|None)
+_FIXED_LIVE = 2      # (2, hazard, dsts, floor, o_banks, exec, w_banks|None)
+_LONG_CONST = 3      # (3, hazard, dsts, start_delta, addr, deact, w_banks)
+_LONG_LIVE = 4       # (4, hazard, dsts, floor, o_banks, addr, deact, w_banks)
+
+
+class ReplayDivergence(Exception):
+    """A live deactivation decision contradicted the recorded one."""
+
+
+class _UnsupportedStructure(Exception):
+    """A recorded hook stream has a shape the replayer cannot evaluate."""
+
+
+class Timeline:
+    """One recorded, latency-parameterized dependency timeline.
+
+    Everything here is *structural*: valid at any latency point of the
+    recording's sans-latency equivalence class, as long as every live
+    deactivation decision matches the recorded one (checked at replay).
+    """
+
+    __slots__ = (
+        "replayable", "reason", "steps", "activations", "deactivations",
+        "finishes", "resident_warps", "instructions", "prefetch_operations",
+        "activation_count", "deactivation_count", "mrf_reads", "mrf_writes",
+        "rfc_stats", "extra", "divergences", "replays_served",
+    )
+
+    def __init__(self) -> None:
+        self.replayable = False
+        #: Why the timeline cannot replay (diagnostic; empty when it can).
+        self.reason = ""
+        #: Diverged replay attempts against this row (across re-anchors).
+        self.divergences = 0
+        #: Successful replays served since this timeline was recorded.
+        self.replays_served = 0
+        #: Per warp: one step tuple per trace position.
+        self.steps: List[List[tuple]] = []
+        #: Per warp: (br_banks|None, br_add, const_latency) per activation.
+        self.activations: List[List[tuple]] = []
+        #: Per warp: bulk-write bank ids (or None) per deactivation.
+        self.deactivations: List[List[Optional[tuple]]] = []
+        #: Per warp: retirement-drain bank ids, or None.
+        self.finishes: List[Optional[tuple]] = []
+        self.resident_warps = 0
+        # Structural result totals (latency-independent given matching
+        # deactivation flags; the anchor run's observed values).
+        self.instructions = 0
+        self.prefetch_operations = 0
+        self.activation_count = 0
+        self.deactivation_count = 0
+        self.mrf_reads = 0
+        self.mrf_writes = 0
+        self.rfc_stats: Tuple[int, int, int, int, int, int] = (0,) * 6
+        self.extra: dict = {}
+
+
+class _ReplayWarp:
+    """Minimal warp state for the replay skeleton (no trace, no WCB)."""
+
+    __slots__ = ("warp_id", "steps", "n", "position", "next_ready",
+                 "resume_at", "scoreboard", "ai", "di")
+
+    def __init__(self, warp_id: int, steps: List[tuple]) -> None:
+        self.warp_id = warp_id
+        self.steps = steps
+        self.n = len(steps)
+        self.position = 0
+        self.next_ready = 0
+        self.resume_at = 0
+        self.scoreboard: Dict[int, int] = {}
+        self.ai = 0      # next activation record to consume
+        self.di = 0      # next deactivation record to consume
+
+
+# -- recording ----------------------------------------------------------------
+
+
+class _RecordingMRF:
+    """Transparent MRF proxy: delegates every call, logging (op, regs,
+    returned completion) into the phase buffer the policy wrapper
+    resets (to None) before each hook call.  The buffer is allocated
+    lazily on the first logged op, so hooks that never touch the MRF --
+    the common case for cache-hit policies -- cost no allocation."""
+
+    __slots__ = ("_mrf", "ops")
+
+    def __init__(self, mrf) -> None:
+        self._mrf = mrf
+        self.ops: Optional[list] = None
+
+    def read(self, warp_id, register, cycle):
+        done = self._mrf.read(warp_id, register, cycle)
+        ops = self.ops
+        if ops is None:
+            ops = self.ops = []
+        ops.append(("r", (register,), done))
+        return done
+
+    def read_group(self, warp_id, registers, cycle):
+        done = self._mrf.read_group(warp_id, registers, cycle)
+        ops = self.ops
+        if ops is None:
+            ops = self.ops = []
+        ops.append(("r", tuple(registers), done))
+        return done
+
+    def write(self, warp_id, register, cycle):
+        done = self._mrf.write(warp_id, register, cycle)
+        ops = self.ops
+        if ops is None:
+            ops = self.ops = []
+        ops.append(("w", (register,), done))
+        return done
+
+    def bulk_read(self, warp_id, registers, cycle):
+        regs = tuple(registers)
+        done = self._mrf.bulk_read(warp_id, regs, cycle)
+        if regs:        # empty bulk ops are inert (no reservation)
+            ops = self.ops
+            if ops is None:
+                ops = self.ops = []
+            ops.append(("br", regs, done))
+        return done
+
+    def bulk_write(self, warp_id, registers, cycle):
+        regs = tuple(registers)
+        done = self._mrf.bulk_write(warp_id, regs, cycle)
+        if regs:
+            ops = self.ops
+            if ops is None:
+                ops = self.ops = []
+            ops.append(("bw", regs, done))
+        return done
+
+
+class _RecordingPolicy:
+    """Wraps the real policy, forwarding every hook while logging its
+    MRF calls (via the proxy), returned latencies, and to_mrf flags,
+    segmented per (warp, trace position) and per scheduler occurrence.
+
+    ``read_group`` and per-register ``read`` log identically ("r"):
+    the MRF documents them as timing- and stats-identical, and the
+    replayer evaluates both as a max over per-bank reservations.
+    """
+
+    def __init__(self, inner, proxy: _RecordingMRF) -> None:
+        self._inner = inner
+        self._proxy = proxy
+        self.name = inner.name
+        self._rfc_stats = inner.rfc.stats
+        self._rfc_latency = inner.config.rfc_latency
+        # Per-warp logs, indexed by warp_id (sized in ``prepare``, which
+        # the SM calls before any hook).  Dict lookups per instruction
+        # are measurable at recording scale.
+        #: one record per trace position, in issue order.
+        self.log: List[list] = []
+        #: (ops, returned latency, cycle) per activation.
+        self.acts: List[list] = []
+        #: (ops, returned drain) per deactivation.
+        self.deacts: List[list] = []
+        #: (ops, returned drain) at retirement, or None.
+        self.fins: List[Optional[tuple]] = []
+
+    # -- run-shape hooks (forwarded verbatim) --------------------------
+
+    def executable_kernel(self, kernel):
+        return self._inner.executable_kernel(kernel)
+
+    def prepare(self, resident_warps: int) -> None:
+        self.log = [[] for _ in range(resident_warps)]
+        self.acts = [[] for _ in range(resident_warps)]
+        self.deacts = [[] for _ in range(resident_warps)]
+        self.fins = [None] * resident_warps
+        self._inner.prepare(resident_warps)
+
+    def extra_stats(self) -> dict:
+        return self._inner.extra_stats()
+
+    # -- per-instruction hooks -----------------------------------------
+
+    def operand_read_latency(self, warp, instruction, cycle):
+        proxy = self._proxy
+        proxy.ops = None
+        hits_before = self._rfc_stats.read_hits
+        latency = self._inner.operand_read_latency(warp, instruction, cycle)
+        # The one non-MRF latency component the shape check admits: the
+        # constant RFC hit path (observable through the hit counter).
+        floor = self._rfc_latency if (
+            self._rfc_stats.read_hits > hits_before
+        ) else 0
+        self.log[warp.warp_id].append(
+            ["O", proxy.ops, latency, floor, None, False]
+        )
+        return latency
+
+    def result_write(self, warp, instruction, cycle, to_mrf=False):
+        proxy = self._proxy
+        proxy.ops = None
+        self._inner.result_write(warp, instruction, cycle, to_mrf=to_mrf)
+        record = self.log[warp.warp_id][-1]
+        record[4] = proxy.ops
+        record[5] = to_mrf
+
+    def prefetch(self, warp, instruction, cycle):
+        proxy = self._proxy
+        proxy.ops = None
+        completion = self._inner.prefetch(warp, instruction, cycle)
+        self.log[warp.warp_id].append(
+            ["P", proxy.ops, completion, cycle]
+        )
+        return completion
+
+    # -- scheduler hooks -----------------------------------------------
+
+    def activate(self, warp, cycle):
+        proxy = self._proxy
+        proxy.ops = None
+        latency = self._inner.activate(warp, cycle)
+        self.acts[warp.warp_id].append((proxy.ops, latency, cycle))
+        return latency
+
+    def deactivate(self, warp, cycle):
+        proxy = self._proxy
+        proxy.ops = None
+        drain = self._inner.deactivate(warp, cycle)
+        self.deacts[warp.warp_id].append((proxy.ops, drain))
+        return drain
+
+    def finish(self, warp, cycle):
+        proxy = self._proxy
+        proxy.ops = None
+        drain = self._inner.finish(warp, cycle)
+        self.fins[warp.warp_id] = (proxy.ops, drain)
+        return drain
+
+
+# -- timeline construction ----------------------------------------------------
+
+
+def _read_banks(ops, warp_id: int, num_banks: int) -> tuple:
+    """Flatten an operand phase's MRF reads to bank ids, in call order."""
+    if not ops:
+        return ()
+    banks = []
+    for op, regs, _done in ops:
+        if op != "r":
+            raise _UnsupportedStructure(
+                f"operand phase performed a {op!r} MRF call"
+            )
+        for register in regs:
+            banks.append((warp_id + register) % num_banks)
+    return tuple(banks)
+
+
+def _bulk_record(ops, expected_drain, warp_id: int, num_banks: int,
+                 what: str) -> Optional[tuple]:
+    """Flatten a drain phase (deactivate/finish): at most one bulk
+    write whose completion is the returned drain."""
+    if not ops:
+        if expected_drain is not None:
+            raise _UnsupportedStructure(
+                f"{what} returned a drain without an MRF transfer"
+            )
+        return None
+    if len(ops) != 1 or ops[0][0] != "bw" or ops[0][2] != expected_drain:
+        raise _UnsupportedStructure(f"unsupported {what} MRF stream")
+    return tuple(
+        (warp_id + register) % num_banks for register in ops[0][1]
+    )
+
+
+def _build_timeline(recorder: _RecordingPolicy, traces, mrf_config,
+                    operand_depth: int) -> Timeline:
+    """Flatten a recording into per-position step tuples (see the step
+    kinds at module top).  Raises :class:`_UnsupportedStructure` when
+    any recorded stream falls outside the replayable shapes."""
+    timeline = Timeline()
+    num_banks = mrf_config.mrf_banks
+    transfer = mrf_config.mrf_transfer_latency
+    crossbar = mrf_config.crossbar_regs_per_cycle
+    opcode_prefetch = Opcode.PREFETCH
+
+    for warp_id, trace in enumerate(traces):
+        records = recorder.log[warp_id]
+        if len(records) != len(trace):
+            raise _UnsupportedStructure(
+                f"warp {warp_id}: {len(records)} hook records for "
+                f"{len(trace)} trace positions"
+            )
+        steps: List[tuple] = []
+        for entry, record in zip(trace, records):
+            instruction = entry.instruction
+            hazard = instruction.hazard_registers
+            if instruction.opcode is opcode_prefetch:
+                if record[0] != "P":
+                    raise _UnsupportedStructure("PREFETCH position did not "
+                                                "record a prefetch phase")
+                _, ops, completion, at_cycle = record
+                bw_banks = br_banks = None
+                br_add = 0
+                remaining = list(ops or ())
+                if remaining and remaining[0][0] == "bw":
+                    bw_banks = tuple(
+                        (warp_id + r) % num_banks for r in remaining[0][1]
+                    )
+                    remaining.pop(0)
+                if remaining and remaining[0][0] == "br":
+                    regs = remaining[0][1]
+                    br_banks = tuple(
+                        (warp_id + r) % num_banks for r in regs
+                    )
+                    br_add = transfer + -(-len(regs) // crossbar)
+                    if completion != remaining[0][2]:
+                        raise _UnsupportedStructure(
+                            "prefetch completion is not its bulk read's"
+                        )
+                    remaining.pop(0)
+                elif completion != at_cycle + 1:
+                    raise _UnsupportedStructure(
+                        "prefetch without a bulk read must complete next "
+                        "cycle"
+                    )
+                if remaining:
+                    raise _UnsupportedStructure(
+                        "unsupported prefetch MRF stream"
+                    )
+                steps.append((_PREFETCH, hazard, bw_banks, br_banks, br_add))
+                continue
+
+            _, ops, latency, floor, result_ops, to_mrf = record
+            o_banks = _read_banks(ops, warp_id, num_banks)
+            w_banks = None
+            if result_ops:
+                for op, _regs, _done in result_ops:
+                    if op != "w":
+                        raise _UnsupportedStructure(
+                            f"result phase performed a {op!r} MRF call"
+                        )
+                w_banks = tuple(
+                    (warp_id + r) % num_banks
+                    for _op, regs, _done in result_ops
+                    for r in regs
+                )
+            dsts = instruction.dsts
+            if instruction.is_long_latency:
+                deact = bool(to_mrf)
+                if o_banks:
+                    steps.append((_LONG_LIVE, hazard, dsts, floor, o_banks,
+                                  entry.address, deact, w_banks))
+                else:
+                    excess = latency - operand_depth
+                    start_delta = excess if excess > 0 else 0
+                    steps.append((_LONG_CONST, hazard, dsts, start_delta,
+                                  entry.address, deact, w_banks))
+            elif o_banks:
+                steps.append((_FIXED_LIVE, hazard, dsts, floor, o_banks,
+                              instruction.execution_latency, w_banks))
+            else:
+                excess = latency - operand_depth
+                start_delta = excess if excess > 0 else 0
+                steps.append((_FIXED_CONST, hazard, dsts,
+                              start_delta + instruction.execution_latency,
+                              w_banks))
+        timeline.steps.append(steps)
+
+        activations = []
+        for ops, latency, at_cycle in recorder.acts[warp_id]:
+            if not ops:
+                activations.append((None, 0, latency))
+                continue
+            if len(ops) != 1 or ops[0][0] != "br" or (
+                ops[0][2] - at_cycle != latency
+            ):
+                raise _UnsupportedStructure("unsupported activation stream")
+            regs = ops[0][1]
+            activations.append((
+                tuple((warp_id + r) % num_banks for r in regs),
+                transfer + -(-len(regs) // crossbar),
+                0,
+            ))
+        timeline.activations.append(activations)
+
+        timeline.deactivations.append([
+            _bulk_record(ops, drain, warp_id, num_banks, "deactivate")
+            for ops, drain in recorder.deacts[warp_id]
+        ])
+        fin = recorder.fins[warp_id]
+        timeline.finishes.append(
+            None if fin is None
+            else _bulk_record(fin[0], fin[1], warp_id, num_banks, "finish")
+        )
+    return timeline
+
+
+def _record_timeline(sm_cls, config, policy_factory, kernel, seed,
+                     resident_warps, executable):
+    """Run the event engine once with recording wrappers installed.
+
+    Returns ``(inner_sm, result, timeline)``; the result is the
+    anchor's own (exact) simulation outcome, usable for the grid point
+    that triggered the recording.
+    """
+    inner = sm_cls(config, policy_factory, engine="event")
+    proxy = _RecordingMRF(inner.mrf)
+    real_policy = inner.policy
+    real_policy.mrf = proxy          # policies resolve self.mrf per call
+    recorder = _RecordingPolicy(real_policy, proxy)
+    inner.policy = recorder
+    result = inner.run(kernel, seed=seed, resident_warps=resident_warps,
+                       executable=executable)
+    try:
+        traces = [
+            cached_trace_list(executable, w, seed)
+            for w in range(result.resident_warps)
+        ]
+        timeline = _build_timeline(
+            recorder, traces, inner.mrf.config, config.operand_pipeline_depth
+        )
+        timeline.replayable = True
+    except _UnsupportedStructure as error:
+        timeline = Timeline()
+        timeline.reason = str(error)
+    timeline.resident_warps = result.resident_warps
+    timeline.instructions = result.instructions
+    timeline.prefetch_operations = result.prefetch_operations
+    timeline.activation_count = result.activations
+    timeline.deactivation_count = result.deactivations
+    timeline.mrf_reads = result.mrf_reads
+    timeline.mrf_writes = result.mrf_writes
+    stats = inner.rfc.stats
+    timeline.rfc_stats = (stats.reads, stats.writes, stats.read_hits,
+                          stats.read_misses, stats.fills, stats.writebacks)
+    timeline.extra = result.extra
+    return inner, result, timeline
+
+
+# -- replay skeleton ----------------------------------------------------------
+
+
+def _simulate_replay(timeline: Timeline, config, mrf_config,
+                     memory: MemoryHierarchy,
+                     queue: EventQueue) -> Tuple[int, int]:
+    """Re-run the event engine's scheduling skeleton from a timeline.
+
+    Structure mirrors ``StreamingMultiprocessor._simulate_event`` (the
+    equivalence suite pins the two to each other); policy hook calls
+    are replaced by recorded steps, and the MRF is inlined to direct
+    :class:`BankCalendar` reservations against precomputed bank ids
+    (``read``/``read_group``/``bulk_*`` update the ``now`` low-water
+    mark exactly as :class:`MainRegisterFile` does; ``write`` does
+    not).  Raises :class:`ReplayDivergence` the moment a live
+    deactivation decision contradicts the recorded stream.
+
+    Returns ``(cycles, cycles_skipped)``.
+    """
+    from repro.arch.sm import MAX_CYCLES
+
+    heap = queue._heap
+    active_slots = config.active_warps
+    issue_width = config.issue_width
+    operand_depth = config.operand_pipeline_depth
+
+    banks = [BankCalendar() for _ in range(mrf_config.mrf_banks)]
+    occupancy = mrf_config.mrf_bank_occupancy
+    bank_latency = mrf_config.mrf_bank_latency
+    access_latency = bank_latency + mrf_config.mrf_transfer_latency
+    now = 0
+
+    memory_response = EventKind.MEMORY_RESPONSE
+    prefetch_arrival = EventKind.PREFETCH_ARRIVAL
+    scoreboard_release = EventKind.SCOREBOARD_RELEASE
+    wcb_drain = EventKind.WCB_DRAIN
+    memory_access = memory.access
+    all_acts = timeline.activations
+    all_deacts = timeline.deactivations
+    finishes = timeline.finishes
+
+    warps = [
+        _ReplayWarp(warp_id, steps)
+        for warp_id, steps in enumerate(timeline.steps)
+    ]
+    seq = queue._seq
+    pushed_memory = pushed_prefetch = pushed_scoreboard = 0
+    pushed_drain = 0
+    active_count = 0
+    pool: Dict[int, _ReplayWarp] = {}
+    resumable = [(0, warp.warp_id, warp) for warp in warps]
+    remaining = len(warps)
+    requeue: List[_ReplayWarp] = []
+    cycle = 0
+    rr_next = 0
+    skipped = 0
+
+    try:
+        while True:
+            # 1. Drain due completions from the wake-up heap.
+            while heap and heap[0][0] <= cycle:
+                _, _, kind, payload = heappop(heap)
+                if payload is None:
+                    continue             # instrumentation-only (WCB drain)
+                if kind == memory_response:
+                    heappush(
+                        resumable,
+                        (payload.resume_at, payload.warp_id, payload),
+                    )
+                else:
+                    pool[payload.warp_id] = payload
+
+            # 2. Fill free active slots, earliest-resolved warp first.
+            while resumable and active_count < active_slots:
+                _, _, warp = heappop(resumable)
+                records = all_acts[warp.warp_id]
+                index = warp.ai
+                if index >= len(records):
+                    raise ReplayDivergence("activation stream exhausted")
+                warp.ai = index + 1
+                br_banks, br_add, const = records[index]
+                if br_banks is None:
+                    latency = const
+                else:
+                    if cycle > now:
+                        now = cycle
+                    last = cycle
+                    for bank in br_banks:
+                        done = banks[bank].reserve(
+                            cycle, occupancy, now
+                        ) + bank_latency
+                        if done > last:
+                            last = done
+                    latency = last + br_add - cycle
+                next_ready = warp.next_ready = cycle + latency
+                active_count += 1
+                scoreboard = warp.scoreboard
+                deps = 0
+                if scoreboard:
+                    get = scoreboard.get
+                    for reg in warp.steps[warp.position][1]:
+                        pending = get(reg, 0)
+                        if pending > deps:
+                            deps = pending
+                if next_ready >= deps:
+                    if next_ready <= cycle:
+                        pool[warp.warp_id] = warp
+                    else:
+                        heappush(heap, (next_ready, seq,
+                                        prefetch_arrival, warp))
+                        seq += 1
+                        pushed_prefetch += 1
+                elif deps <= cycle:
+                    pool[warp.warp_id] = warp
+                else:
+                    heappush(heap, (deps, seq, scoreboard_release, warp))
+                    seq += 1
+                    pushed_scoreboard += 1
+
+            if pool:
+                # 3a. Up to issue_width schedulers each issue from a
+                # distinct warp this cycle, round-robin for fairness.
+                issues_left = issue_width
+                while pool:
+                    if len(pool) == 1:
+                        warp_id, warp = pool.popitem()
+                        rr_next = warp_id + 1
+                    else:
+                        best = wrap = None
+                        for candidate in pool:
+                            if candidate >= rr_next:
+                                if best is None or candidate < best:
+                                    best = candidate
+                            elif wrap is None or candidate < wrap:
+                                wrap = candidate
+                        warp_id = best if best is not None else wrap
+                        warp = pool.pop(warp_id)
+                        rr_next = warp_id + 1
+
+                    step = warp.steps[warp.position]
+                    kind = step[0]
+                    deactivate = False
+
+                    if kind == _FIXED_CONST:
+                        # Hottest path: the whole issue is one add.
+                        complete = cycle + step[3]
+                        dsts = step[2]
+                        if dsts:
+                            scoreboard = warp.scoreboard
+                            for dst in dsts:
+                                scoreboard[dst] = complete
+                            w_banks = step[4]
+                            if w_banks is not None:
+                                for bank in w_banks:
+                                    banks[bank].reserve(
+                                        complete, occupancy, now
+                                    )
+                    elif kind == _PREFETCH:
+                        if cycle > now:
+                            now = cycle
+                        bw_banks = step[2]
+                        if bw_banks is not None:
+                            for bank in bw_banks:
+                                banks[bank].reserve(cycle, occupancy, now)
+                        br_banks = step[3]
+                        if br_banks is None:
+                            warp.next_ready = cycle + 1
+                        else:
+                            last = cycle
+                            for bank in br_banks:
+                                done = banks[bank].reserve(
+                                    cycle, occupancy, now
+                                ) + bank_latency
+                                if done > last:
+                                    last = done
+                            warp.next_ready = last + step[4]
+                        warp.position += 1
+                        if warp.position >= warp.n:
+                            fin = finishes[warp.warp_id]
+                            if fin is not None:
+                                if cycle > now:
+                                    now = cycle
+                                done = cycle
+                                for bank in fin:
+                                    settled = banks[bank].reserve(
+                                        cycle, occupancy, now
+                                    ) + access_latency
+                                    if settled > done:
+                                        done = settled
+                                heappush(heap, (done, seq, wcb_drain, None))
+                                seq += 1
+                                pushed_drain += 1
+                            active_count -= 1
+                            remaining -= 1
+                        else:
+                            requeue.append(warp)
+                        issues_left -= 1
+                        if not issues_left:
+                            break
+                        continue
+                    else:
+                        if kind == _FIXED_LIVE:
+                            if cycle > now:
+                                now = cycle
+                            ready = cycle + step[3]
+                            for bank in step[4]:
+                                done = banks[bank].reserve(
+                                    cycle, occupancy, now
+                                ) + access_latency
+                                if done > ready:
+                                    ready = done
+                            excess = ready - cycle - operand_depth
+                            start = cycle + excess if excess > 0 else cycle
+                            complete = start + step[5]
+                            dsts = step[2]
+                            w_banks = step[6]
+                        elif kind == _LONG_CONST:
+                            start = cycle + step[3]
+                            access = memory_access(step[4], start)
+                            complete = access.ready_cycle
+                            dsts = step[2]
+                            if dsts:
+                                deactivate = access.level != "l1"
+                                if deactivate != step[5]:
+                                    raise ReplayDivergence(
+                                        "deactivation flag diverged"
+                                    )
+                            w_banks = step[6]
+                        else:   # _LONG_LIVE
+                            if cycle > now:
+                                now = cycle
+                            ready = cycle + step[3]
+                            for bank in step[4]:
+                                done = banks[bank].reserve(
+                                    cycle, occupancy, now
+                                ) + access_latency
+                                if done > ready:
+                                    ready = done
+                            excess = ready - cycle - operand_depth
+                            start = cycle + excess if excess > 0 else cycle
+                            access = memory_access(step[5], start)
+                            complete = access.ready_cycle
+                            dsts = step[2]
+                            if dsts:
+                                deactivate = access.level != "l1"
+                                if deactivate != step[6]:
+                                    raise ReplayDivergence(
+                                        "deactivation flag diverged"
+                                    )
+                            w_banks = step[7]
+                        if dsts:
+                            scoreboard = warp.scoreboard
+                            for dst in dsts:
+                                scoreboard[dst] = complete
+                            if w_banks is not None:
+                                for bank in w_banks:
+                                    banks[bank].reserve(
+                                        complete, occupancy, now
+                                    )
+
+                    warp.position += 1
+                    if warp.position >= warp.n:
+                        fin = finishes[warp.warp_id]
+                        if fin is not None:
+                            if cycle > now:
+                                now = cycle
+                            done = cycle
+                            for bank in fin:
+                                settled = banks[bank].reserve(
+                                    cycle, occupancy, now
+                                ) + access_latency
+                                if settled > done:
+                                    done = settled
+                            heappush(heap, (done, seq, wcb_drain, None))
+                            seq += 1
+                            pushed_drain += 1
+                        active_count -= 1
+                        remaining -= 1
+                    elif deactivate:
+                        records = all_deacts[warp.warp_id]
+                        index = warp.di
+                        if index >= len(records):
+                            raise ReplayDivergence(
+                                "deactivation stream exhausted"
+                            )
+                        warp.di = index + 1
+                        bw_banks = records[index]
+                        if bw_banks is not None:
+                            if cycle > now:
+                                now = cycle
+                            done = cycle
+                            for bank in bw_banks:
+                                settled = banks[bank].reserve(
+                                    cycle, occupancy, now
+                                ) + access_latency
+                                if settled > done:
+                                    done = settled
+                            heappush(heap, (done, seq, wcb_drain, None))
+                            seq += 1
+                            pushed_drain += 1
+                        warp.resume_at = complete
+                        active_count -= 1
+                        heappush(heap, (complete, seq,
+                                        memory_response, warp))
+                        seq += 1
+                        pushed_memory += 1
+                    else:
+                        warp.next_ready = cycle + 1
+                        requeue.append(warp)
+                    issues_left -= 1
+                    if not issues_left:
+                        break
+                cycle += 1
+                if requeue:
+                    for warp in requeue:
+                        scoreboard = warp.scoreboard
+                        deps = 0
+                        if scoreboard:
+                            get = scoreboard.get
+                            for reg in warp.steps[warp.position][1]:
+                                pending = get(reg, 0)
+                                if pending > deps:
+                                    deps = pending
+                        next_ready = warp.next_ready
+                        if next_ready >= deps:
+                            if next_ready <= cycle:
+                                pool[warp.warp_id] = warp
+                            else:
+                                heappush(heap, (next_ready, seq,
+                                                prefetch_arrival, warp))
+                                seq += 1
+                                pushed_prefetch += 1
+                        elif deps <= cycle:
+                            pool[warp.warp_id] = warp
+                        else:
+                            heappush(heap, (deps, seq,
+                                            scoreboard_release, warp))
+                            seq += 1
+                            pushed_scoreboard += 1
+                    requeue.clear()
+            else:
+                # 3b. Nothing issuable: jump to the next pending event.
+                if remaining == 0:
+                    break
+                if not heap:
+                    raise RuntimeError(
+                        "replay engine stalled: unfinished warps but no "
+                        "pending events"
+                    )
+                next_cycle = heap[0][0]
+                if next_cycle <= cycle:
+                    next_cycle = cycle + 1
+                skipped += next_cycle - cycle - 1
+                cycle = next_cycle
+            if cycle > MAX_CYCLES:
+                raise RuntimeError("simulation exceeded MAX_CYCLES")
+    finally:
+        queue.fold_batched(
+            seq, memory=pushed_memory, prefetch=pushed_prefetch,
+            scoreboard=pushed_scoreboard, drain=pushed_drain,
+        )
+    return cycle, skipped
+
+
+# -- engine entry point -------------------------------------------------------
+
+
+def _adopt(sm, inner) -> None:
+    """Point ``sm``'s inspectable components at the run that actually
+    produced its result (post-run callers read ``sm.memory.stats`` &c.)."""
+    sm.mrf = inner.mrf
+    sm.rfc = inner.rfc
+    sm.memory = inner.memory
+    sm.policy = inner.policy
+    sm.activations = inner.activations
+    sm.deactivations = inner.deactivations
+    sm.events = inner.events
+    sm.cycles_skipped = inner.cycles_skipped
+
+
+def _fallback(sm, kernel, seed, resident_warps, executable, outcome):
+    """Run the point on a fresh event engine; tag the replay outcome."""
+    from repro.arch.sm import StreamingMultiprocessor
+
+    inner = StreamingMultiprocessor(
+        sm.config, sm._policy_factory, engine="event"
+    )
+    result = inner.run(kernel, seed=seed, resident_warps=resident_warps,
+                       executable=executable)
+    _adopt(sm, inner)
+    result.engine = "replay"
+    result.replay_outcome = outcome
+    return result
+
+
+def run_replay(sm, kernel, seed: int = 0,
+               resident_warps: Optional[int] = None,
+               executable=None):
+    """Simulate one point under the replay engine (see module docs).
+
+    ``sm`` is the dispatching :class:`StreamingMultiprocessor`; its own
+    components are replaced by whichever inner run produced the result,
+    so post-run inspection behaves as for the other engines.
+    """
+    from repro.arch.sm import (
+        SimulationResult,
+        StreamingMultiprocessor,
+        mrf_config_for,
+    )
+
+    config = sm.config
+    policy_factory = sm._policy_factory
+    if resident_warps is None:
+        resident_warps = config.resident_warps_for(kernel.register_count)
+
+    def resolved_executable():
+        # A successful replay touches neither the policy nor the trace,
+        # so kernel preparation (a compile-cache probe involving a full
+        # content fingerprint) is resolved only on the paths that
+        # actually run instructions.
+        return (sm.policy.executable_kernel(kernel)
+                if executable is None else executable)
+
+    if not getattr(policy_factory, "latency_separable", False):
+        return _fallback(sm, kernel, seed, resident_warps,
+                         resolved_executable(), "fallback-static")
+
+    key = (
+        cached_kernel_fingerprint(kernel),
+        policy_factory.name,
+        seed,
+        resident_warps,
+        fingerprint_of_arch_sans_latency(config),
+    )
+    timeline = timeline_for(key)
+    if timeline is None:
+        inner, result, timeline = _record_timeline(
+            StreamingMultiprocessor, config, policy_factory, kernel,
+            seed, resident_warps, resolved_executable(),
+        )
+        store_timeline(key, timeline)
+        _adopt(sm, inner)
+        result.engine = "replay"
+        result.replay_outcome = "recorded"
+        return result
+
+    if not timeline.replayable:
+        # Dead row: either the recording's hook streams were outside
+        # the replayable shapes (structural), or earlier points proved
+        # the row's memory-hit pattern latency-sensitive (divergence).
+        outcome = ("fallback-diverged" if timeline.divergences
+                   else "fallback-static")
+        return _fallback(sm, kernel, seed, resident_warps,
+                         resolved_executable(), outcome)
+
+    mrf_config = mrf_config_for(config, policy_factory)
+    memory = MemoryHierarchy(config.memory)
+    queue = EventQueue()
+    started = time.perf_counter()
+    try:
+        cycles, skipped = _simulate_replay(
+            timeline, config, mrf_config, memory, queue
+        )
+    except ReplayDivergence:
+        # The recording's memory-hit pattern does not hold at this
+        # latency; the point must re-run on the event engine either
+        # way.  Recording costs ~2x a plain event run, so re-anchor
+        # (re-record at this latency, so the sweep's next point
+        # replays against the nearest recording) only when this
+        # timeline has proven itself by serving replays; a timeline
+        # that diverges before ever replaying marks the whole row as
+        # latency-sensitive and the remaining points take the plain
+        # event path.
+        timeline.divergences += 1
+        if timeline.replays_served:
+            inner, result, fresh = _record_timeline(
+                StreamingMultiprocessor, config, policy_factory, kernel,
+                seed, resident_warps, resolved_executable(),
+            )
+            fresh.divergences = timeline.divergences
+            store_timeline(key, fresh)
+            _adopt(sm, inner)
+            result.engine = "replay"
+            result.replay_outcome = "fallback-diverged"
+            return result
+        timeline.replayable = False
+        timeline.reason = "memory-hit pattern diverged at replay"
+        return _fallback(sm, kernel, seed, resident_warps,
+                         resolved_executable(), "fallback-diverged")
+    host_seconds = time.perf_counter() - started
+    timeline.replays_served += 1
+
+    rfc = timeline.rfc_stats
+    result = SimulationResult(
+        kernel=kernel.name,
+        policy=policy_factory.name,
+        config=config,
+        cycles=cycles,
+        instructions=timeline.instructions,
+        prefetch_operations=timeline.prefetch_operations,
+        resident_warps=resident_warps,
+        activations=timeline.activation_count,
+        deactivations=timeline.deactivation_count,
+        mrf_reads=timeline.mrf_reads,
+        mrf_writes=timeline.mrf_writes,
+        rfc_reads=rfc[0],
+        rfc_writes=rfc[1],
+        rfc_read_hits=rfc[2],
+        rfc_read_misses=rfc[3],
+        rfc_fills=rfc[4],
+        rfc_writebacks=rfc[5],
+        l1_hit_rate=memory.stats.l1_hit_rate,
+        extra=dict(timeline.extra),
+        engine="replay",
+        replay_outcome="replayed",
+        event_counts=dict(queue.counts),
+        cycles_skipped=skipped,
+        host_seconds=host_seconds,
+    )
+    # Post-run inspection parity: the structural counters land on the
+    # (otherwise untouched) components the dispatching SM already owns.
+    sm.memory = memory
+    sm.events = queue
+    sm.cycles_skipped = skipped
+    sm.activations = timeline.activation_count
+    sm.deactivations = timeline.deactivation_count
+    sm.mrf.stats.reads = timeline.mrf_reads
+    sm.mrf.stats.writes = timeline.mrf_writes
+    stats = sm.rfc.stats
+    (stats.reads, stats.writes, stats.read_hits, stats.read_misses,
+     stats.fills, stats.writebacks) = rfc
+    return result

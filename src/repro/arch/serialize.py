@@ -256,6 +256,51 @@ def arch_fingerprint(config: GPUConfig) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()[:FINGERPRINT_LENGTH]
 
 
+#: Fields struck from the canonical form by the sans-latency
+#: fingerprint: exactly the knobs the latency sweeps vary (the MRF
+#: latency multiple and the memory-hierarchy timing).  Everything the
+#: replay engine bakes into a recorded timeline -- bank counts, RFC
+#: latency, crossbar geometry, occupancy, cache sizes -- stays in.
+_LATENCY_FIELDS = ("mrf_latency_multiple",)
+_MEMORY_LATENCY_FIELDS = (
+    "l1_latency", "llc_latency", "dram_latency", "dram_service_interval",
+)
+
+
+def arch_fingerprint_sans_latency(config: GPUConfig) -> str:
+    """:func:`arch_fingerprint` with the latency knobs struck out.
+
+    Two architectures share this fingerprint iff they differ only in
+    the fields a latency sweep varies: ``mrf_latency_multiple`` and the
+    memory hierarchy's per-level latencies/service interval.  This is
+    the replay engine's timeline cache key component: one recorded
+    timeline is (structurally) valid for every latency point of a
+    fig11/fig14-shaped grid row.
+    """
+    content = arch_to_dict(config)
+    del content["schema"], content["schema_version"]
+    for name in _LATENCY_FIELDS:
+        content.pop(name, None)
+    memory = content.get("memory")
+    if memory is not None:
+        for name in _MEMORY_LATENCY_FIELDS:
+            memory.pop(name, None)
+        if not memory:
+            del content["memory"]
+    blob = json.dumps(content, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:FINGERPRINT_LENGTH]
+
+
+@lru_cache(maxsize=None)
+def fingerprint_of_arch_sans_latency(config: GPUConfig) -> str:
+    """:func:`arch_fingerprint_sans_latency`, memoised per frozen config.
+
+    Same rationale as :func:`fingerprint_of_arch`: a sweep re-presents
+    the same few dozen configurations thousands of times.
+    """
+    return arch_fingerprint_sans_latency(config)
+
+
 @lru_cache(maxsize=None)
 def fingerprint_of_arch(config: GPUConfig) -> str:
     """:func:`arch_fingerprint`, memoised per (frozen, hashable) config.

@@ -16,7 +16,7 @@ The register policy (:mod:`repro.policies`) decides where operands live
 and what every access costs; the SM owns instruction issue, hazards,
 scheduling, and the memory hierarchy.
 
-Timing model: one issue slot per scheduler per cycle.  Two engines
+Timing model: one issue slot per scheduler per cycle.  Three engines
 implement it:
 
 * the **event engine** (default) keeps a wake-up heap keyed by absolute
@@ -32,9 +32,19 @@ implement it:
   walks the active pool every cycle, re-deriving readiness by polling
   every warp.  It is observationally identical to the event engine
   (pinned by ``tests/arch/test_engine_equivalence.py``) and exists as
-  the oracle for that equivalence, not for speed.
+  the oracle for that equivalence, not for speed;
+* the **replay engine** (:mod:`repro.arch.replay`) is the sweep fast
+  path: it runs the event engine once per (kernel, policy, arch minus
+  latency knobs) to record a latency-parameterized dependency
+  timeline, then replays that timeline per latency point with live
+  bank calendars and a live memory hierarchy -- skipping the policy
+  stack entirely.  Points the timeline cannot serve exactly (policies
+  not declaring :attr:`~repro.policies.base.RegisterPolicy
+  .latency_separable`, or runs whose memory-hit pattern diverges from
+  the recording) fall back to the event engine transparently; the
+  outcome is reported per result in ``replay_outcome``.
 
-Select with ``StreamingMultiprocessor(..., engine="dense")`` or the
+Select with ``StreamingMultiprocessor(..., engine=...)`` or the
 ``LTRF_SIM_ENGINE`` environment variable.
 """
 
@@ -59,8 +69,27 @@ from repro.ir.kernel import Kernel
 #: Safety valve: simulations beyond this many cycles indicate livelock.
 MAX_CYCLES = 50_000_000
 
-#: Engine registry; ``LTRF_SIM_ENGINE`` may name either at runtime.
-ENGINES = ("event", "dense")
+#: Engine registry; ``LTRF_SIM_ENGINE`` may name any at runtime.
+ENGINES = ("event", "dense", "replay")
+
+
+def mrf_config_for(config: GPUConfig, policy_factory) -> GPUConfig:
+    """The configuration the MRF is built from under ``policy_factory``.
+
+    Two policy traits transform the MRF's timing relative to the
+    simulated architecture: the Ideal design point forces baseline
+    latency regardless of the configured multiple, and LTRF narrows
+    the MRF crossbar by 4x (Section 4.2) -- design choices of those
+    architectures, so they travel with the policy rather than the
+    configuration.  Shared with the replay engine, whose inlined bank
+    calendars must see exactly the timing the recorded run's MRF saw.
+    """
+    mrf_config = config
+    if getattr(policy_factory, "forces_baseline_latency", False):
+        mrf_config = config.with_latency_multiple(1.0)
+    if getattr(policy_factory, "uses_narrow_crossbar", False):
+        mrf_config = mrf_config.scaled(narrow_crossbar=True)
+    return mrf_config
 
 
 def default_engine() -> str:
@@ -102,8 +131,14 @@ class SimulationResult:
     rfc_writebacks: int
     l1_hit_rate: float
     extra: dict = field(default_factory=dict)
-    #: Engine that produced this result ("event" or "dense").
+    #: Engine that produced this result (one of :data:`ENGINES`).
     engine: str = field(default="event", compare=False)
+    #: How the replay engine served this point: ``recorded`` (this run
+    #: recorded the row's timeline on the event engine), ``replayed``,
+    #: ``fallback-static`` (policy not latency-separable or timeline
+    #: not replayable), or ``fallback-diverged`` (live memory-hit
+    #: pattern contradicted the recording).  Empty for other engines.
+    replay_outcome: str = field(default="", compare=False)
     #: Wake-up events registered, by :class:`EventKind` (telemetry).
     event_counts: Dict[str, int] = field(default_factory=dict, compare=False)
     #: Idle cycles the event engine jumped over instead of ticking.
@@ -143,15 +178,8 @@ class StreamingMultiprocessor:
                  engine: Optional[str] = None) -> None:
         """``policy_factory(config, mrf, rfc)`` builds the register policy."""
         self.config = config
-        mrf_config = config
-        if getattr(policy_factory, "forces_baseline_latency", False):
-            mrf_config = config.with_latency_multiple(1.0)
-        if getattr(policy_factory, "uses_narrow_crossbar", False):
-            # LTRF narrows the MRF crossbar by 4x (Section 4.2): a
-            # design choice of the prefetching architecture, so it
-            # travels with the policy rather than the configuration.
-            mrf_config = mrf_config.scaled(narrow_crossbar=True)
-        self.mrf = MainRegisterFile(mrf_config)
+        self._policy_factory = policy_factory
+        self.mrf = MainRegisterFile(mrf_config_for(config, policy_factory))
         self.rfc = RegisterFileCache(config)
         self.memory = MemoryHierarchy(config.memory)
         self.policy = policy_factory(config, self.mrf, self.rfc)
@@ -185,6 +213,12 @@ class StreamingMultiprocessor:
         per-run preparation; it must be exactly what
         ``policy.executable_kernel(kernel)`` would return.
         """
+        if self.engine == "replay":
+            from repro.arch.replay import run_replay
+
+            return run_replay(self, kernel, seed=seed,
+                              resident_warps=resident_warps,
+                              executable=executable)
         if executable is None:
             executable = self.policy.executable_kernel(kernel)
         if resident_warps is None:
@@ -252,7 +286,6 @@ class StreamingMultiprocessor:
         """
         queue = self.events
         heap = queue._heap
-        counts = queue.counts
         policy = self.policy
         active_slots = self.config.active_warps
         issue_width = self.config.issue_width
@@ -501,14 +534,10 @@ class StreamingMultiprocessor:
                 if cycle > MAX_CYCLES:
                     raise RuntimeError("simulation exceeded MAX_CYCLES")
         finally:
-            # Fold the locally batched push accounting back into the
-            # queue so telemetry (event_counts) and any later pushes
-            # observe the same state as unbatched pushes would have.
-            queue._seq = seq
-            counts[memory_response] += pushed_memory
-            counts[prefetch_arrival] += pushed_prefetch
-            counts[scoreboard_release] += pushed_scoreboard
-            counts[wcb_drain] += pushed_drain
+            queue.fold_batched(
+                seq, memory=pushed_memory, prefetch=pushed_prefetch,
+                scoreboard=pushed_scoreboard, drain=pushed_drain,
+            )
         self.cycles_skipped = skipped
         return cycle
 

@@ -51,6 +51,7 @@ from repro.arch.registry import (
     default_arch_registry,
     is_arch_file_name,
 )
+from repro.arch.sm import ENGINES
 from repro.compiler import compile_kernel
 from repro.experiments import (
     Runner,
@@ -125,6 +126,29 @@ def _add_workload_argument(command) -> None:
     )
 
 
+def _add_engine_argument(command) -> None:
+    """``--engine`` shared by the simulating subcommands.
+
+    Selection flows through ``LTRF_SIM_ENGINE`` (set before any pool
+    is created, so forked batch workers inherit it) rather than
+    per-call plumbing: every simulation of the invocation -- including
+    the replay engine's internal event-engine anchors and fallbacks --
+    then resolves the same engine.
+    """
+    command.add_argument(
+        "--engine", default=None, choices=ENGINES,
+        help="simulation engine: event (default), dense (reference "
+             "tick loop), or replay (latency-sweep fast path; "
+             "bit-identical results, non-separable points fall back "
+             "to event)",
+    )
+
+
+def _apply_engine(engine: Optional[str]) -> None:
+    if engine is not None:
+        os.environ["LTRF_SIM_ENGINE"] = engine
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LTRF (ASPLOS 2018) reproduction CLI"
@@ -162,6 +186,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="override the MRF latency multiple")
     simulate.add_argument("--sms", type=int, default=1,
                           help="also report chip-level IPC over N SMs")
+    _add_engine_argument(simulate)
 
     compile_cmd = sub.add_parser("compile", help="show prefetch regions")
     compile_cmd.add_argument(
@@ -211,6 +236,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="architecture to sweep (latency-tolerance figures only): "
              "registry name or .arch.json path",
     )
+    _add_engine_argument(experiment)
 
     sweep = sub.add_parser("sweep", help="latency-tolerance sweep")
     _add_workload_argument(sweep)
@@ -221,6 +247,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "names and/or .arch.json paths")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep grid")
+    _add_engine_argument(sweep)
 
     store = sub.add_parser(
         "store", help="inspect/maintain the on-disk result store"
@@ -415,6 +442,7 @@ def _select_arch(args) -> str:
 
 
 def _cmd_simulate(args) -> None:
+    _apply_engine(args.engine)
     workload = _resolve_workload(args.workload, args.kernel_file)
     # The default architecture is the same 272KB normalisation baseline
     # the experiments use (MRF + the 16KB RFC budget), so printed IPC
@@ -465,7 +493,9 @@ def _cmd_compile(args) -> None:
 
 
 def _cmd_experiment(names: List[str], jobs: int,
-                    arch: Optional[str] = None) -> None:
+                    arch: Optional[str] = None,
+                    engine: Optional[str] = None) -> None:
+    _apply_engine(engine)
     selected = sorted(EXPERIMENTS) if "all" in names else names
     if arch is not None:
         unsupported = [name for name in selected if name not in ARCH_AWARE]
@@ -488,6 +518,7 @@ def _cmd_experiment(names: List[str], jobs: int,
 
 
 def _cmd_sweep(args) -> None:
+    _apply_engine(args.engine)
     workload = _resolve_workload(args.workload, args.kernel_file)
     archs = [name.strip() for name in args.arch.split(",")]
     for arch in archs:
@@ -516,6 +547,7 @@ def _cmd_sweep(args) -> None:
             print(f"{label:{label_width}s} {curve}  "
                   f"-> tolerates {tolerable:.1f}x")
     runner.log_run(f"sweep {workload}")
+    print(f"[engine] {runner.render_telemetry()}")
 
 
 def _cmd_export_kernel(args) -> None:
@@ -713,7 +745,7 @@ def main(argv: List[str] = None) -> int:
         elif args.command == "list-archs":
             _cmd_list_archs()
         elif args.command == "experiment":
-            _cmd_experiment(args.names, args.jobs, args.arch)
+            _cmd_experiment(args.names, args.jobs, args.arch, args.engine)
         elif args.command == "sweep":
             _cmd_sweep(args)
         elif args.command == "store":

@@ -41,7 +41,11 @@ from typing import Dict, Iterable, List, Optional
 
 from repro.arch.config import GPUConfig
 from repro.arch.registry import arch_config
-from repro.arch.serialize import arch_to_dict, fingerprint_of_arch
+from repro.arch.serialize import (
+    arch_to_dict,
+    fingerprint_of_arch,
+    fingerprint_of_arch_sans_latency,
+)
 from repro.arch.sm import StreamingMultiprocessor
 from repro.compiler.cache import STATS as COMPILE_STATS
 from repro.policies import policy_by_name
@@ -151,6 +155,10 @@ class SimTelemetry:
     instructions: int
     cycles_skipped: int
     event_counts: Dict[str, int]
+    #: How the replay engine produced this result ("" for other
+    #: engines): "recorded", "replayed", "fallback-static" or
+    #: "fallback-diverged" (see repro.arch.replay).
+    replay_outcome: str = ""
     #: Content fingerprint of the kernel this run actually simulated.
     #: For generated workloads it always equals the fingerprint in the
     #: request's cache key; for file-backed workloads the file may be
@@ -222,6 +230,7 @@ def execute_request_with_telemetry(request: SimRequest):
         instructions=result.instructions,
         cycles_skipped=result.cycles_skipped,
         event_counts=result.event_counts,
+        replay_outcome=result.replay_outcome,
         kernel_fingerprint=fingerprint,
         kernel_builds=builds_after - builds_before,
         kernel_build_seconds=build_seconds_after - build_seconds_before,
@@ -247,20 +256,27 @@ def execute_batch(requests: List[SimRequest]):
 def _dispatch_chunks(items: List[tuple], workers: int) -> List[List[tuple]]:
     """Split pending ``(key, request)`` pairs into pool tasks.
 
-    Items are grouped by workload so one worker handles one kernel's
-    grid points back to back -- it resolves and compiles the kernel
-    once and every subsequent point in the chunk hits the process-wide
-    static caches (zero-rebuild dispatch).  Groups are sliced into
-    several chunks per worker so a slow workload cannot serialise the
-    pool behind one long task.  The merge is keyed, so chunk shapes
-    never affect results -- only how much static work is repeated.
+    Items are grouped by *grid row* -- ``(workload, policy,
+    sans-latency arch fingerprint)`` -- so one worker handles a row's
+    latency points back to back: it resolves and compiles the kernel
+    once (zero-rebuild dispatch against the process-wide static
+    caches), and under the replay engine the row's one recorded
+    timeline serves every subsequent point in the chunk (timeline
+    caches are likewise per process, so splitting a row across workers
+    would re-record it per worker).  Groups are sliced into several
+    chunks per worker so a slow workload cannot serialise the pool
+    behind one long task.  The merge is keyed, so chunk shapes never
+    affect results -- only how much static work is repeated.
     """
-    by_workload: Dict[str, List[tuple]] = {}
+    by_row: Dict[tuple, List[tuple]] = {}
     for item in items:
-        by_workload.setdefault(item[1].workload, []).append(item)
+        request = item[1]
+        row = (request.workload, request.policy,
+               fingerprint_of_arch_sans_latency(request.config))
+        by_row.setdefault(row, []).append(item)
     chunk_size = max(1, -(-len(items) // (workers * 4)))
     chunks = []
-    for group in by_workload.values():
+    for group in by_row.values():
         for start in range(0, len(group), chunk_size):
             chunks.append(group[start:start + chunk_size])
     return chunks
@@ -302,6 +318,19 @@ class RunnerStats:
     compile_cache_hits: int = 0
     compile_cache_misses: int = 0
     compile_seconds: float = 0.0
+    # Replay-engine outcome counters: how many simulated points were
+    # served from a recorded timeline ("replayed"), paid the one-off
+    # recording run ("recorded"), or fell back to the event engine
+    # (static shape gate vs live divergence).  All zero unless the
+    # replay engine ran.
+    replays_served: int = 0
+    replays_recorded: int = 0
+    replay_fallbacks_static: int = 0
+    replay_fallbacks_diverged: int = 0
+
+    @property
+    def replay_fallbacks(self) -> int:
+        return self.replay_fallbacks_static + self.replay_fallbacks_diverged
 
     @property
     def hits(self) -> int:
@@ -324,6 +353,15 @@ class RunnerStats:
         self.compile_cache_hits += telemetry.compile_cache_hits
         self.compile_cache_misses += telemetry.compile_cache_misses
         self.compile_seconds += telemetry.compile_seconds
+        outcome = telemetry.replay_outcome
+        if outcome == "replayed":
+            self.replays_served += 1
+        elif outcome == "recorded":
+            self.replays_recorded += 1
+        elif outcome == "fallback-static":
+            self.replay_fallbacks_static += 1
+        elif outcome == "fallback-diverged":
+            self.replay_fallbacks_diverged += 1
         for kind, count in telemetry.event_counts.items():
             self.event_counts[kind] = self.event_counts.get(kind, 0) + count
 
@@ -747,6 +785,10 @@ class Runner:
             "compile_cache_hits": stats.compile_cache_hits,
             "compile_cache_misses": stats.compile_cache_misses,
             "compile_seconds": stats.compile_seconds,
+            "replays_served": stats.replays_served,
+            "replays_recorded": stats.replays_recorded,
+            "replay_fallbacks_static": stats.replay_fallbacks_static,
+            "replay_fallbacks_diverged": stats.replay_fallbacks_diverged,
         }
 
     def log_run(self, label: str) -> Optional[Dict[str, object]]:
@@ -785,7 +827,7 @@ class Runner:
             f"{kind}={count}" for kind, count in sorted(events.items())
         ) or "none"
         rate = summary["simulated_cycles_per_host_second"]
-        return (
+        text = (
             f"simulated {summary['simulations']} run(s) "
             f"({summary['cache_hits']} cache hit(s)): "
             f"{summary['simulated_cycles']} cycles "
@@ -798,6 +840,20 @@ class Runner:
             f"{summary['compile_cache_misses']} miss(es) in "
             f"{summary['compile_seconds']:.2f}s"
         )
+        replay_touched = (
+            summary["replays_served"] + summary["replays_recorded"]
+            + summary["replay_fallbacks_static"]
+            + summary["replay_fallbacks_diverged"]
+        )
+        if replay_touched:
+            text += (
+                f"; replay engine: {summary['replays_served']} replayed, "
+                f"{summary['replays_recorded']} recorded, "
+                f"{summary['replay_fallbacks_static']} static + "
+                f"{summary['replay_fallbacks_diverged']} diverged "
+                "fallback(s)"
+            )
+        return text
 
 
 def simulate_vs_baseline(runner: "Runner", workloads: Iterable[str],

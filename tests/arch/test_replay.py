@@ -1,0 +1,271 @@
+"""Replay engine: outcome taxonomy, fallback ladder, cache semantics.
+
+``tests/arch/test_engine_equivalence.py`` pins the headline contract
+(replayed results equal the event engine's, field for field).  This
+suite pins the *machinery* around that contract:
+
+* the outcome taxonomy (``recorded`` / ``replayed`` /
+  ``fallback-static`` / ``fallback-diverged``) is reported truthfully;
+* a policy that does not declare ``latency_separable`` routes through
+  the event engine -- and the records a sweep persists are
+  byte-identical to the event engine's, so switching engines can never
+  contaminate a result store;
+* a divergent timeline triggers the adaptive ladder: kill the row when
+  it never replayed, re-anchor when it had proven itself;
+* timelines live in the static-artifact cache and honour its
+  escape hatch (``LTRF_COMPILE_CACHE=0``) and ``clear_static_cache``.
+"""
+
+import json
+import os
+from unittest import mock
+
+import pytest
+
+from repro.arch import GPUConfig, StreamingMultiprocessor
+from repro.compiler import cache
+from repro.compiler.cache import clear_static_cache
+from repro.experiments.runner import Runner, SimRequest
+from repro.policies import POLICIES, BaselinePolicy
+from repro.workloads import get_kernel
+
+#: Small SM shape shared by these tests: fast, and -- unlike the
+#: full-size sweep shape -- its memory-hit pattern is latency-stable
+#: for kmeans/LTRF, so non-anchor points genuinely replay.
+SMALL = dict(max_resident_warps=8, active_warps=4)
+
+OUTCOMES = ("recorded", "replayed", "fallback-static", "fallback-diverged")
+
+
+def small_config(latency=1.0):
+    return GPUConfig(mrf_latency_multiple=latency, **SMALL)
+
+
+def run_engine(engine, policy, latency=1.0, workload="kmeans", seed=0):
+    sm = StreamingMultiprocessor(
+        small_config(latency), POLICIES[policy], engine=engine
+    )
+    return sm.run(get_kernel(workload), seed=seed)
+
+
+@pytest.fixture(autouse=True)
+def fresh_timelines():
+    """Each test starts from an empty timeline cache (the other static
+    memos -- compiles, traces -- stay warm; they are content-addressed
+    and sharing them across tests is the production steady state)."""
+    cache._timelines.clear()
+    yield
+    cache._timelines.clear()
+
+
+def the_timeline():
+    """The single cached timeline (asserts there is exactly one)."""
+    assert len(cache._timelines) == 1
+    return next(iter(cache._timelines.values()))
+
+
+# -- outcome taxonomy --------------------------------------------------------
+
+
+class TestOutcomes:
+    def test_row_records_then_replays(self):
+        """A latency row pays one recording, then serves from it."""
+        outcomes = []
+        for latency in (1.0, 2.0, 3.0):
+            event = run_engine("event", "LTRF", latency)
+            replay = run_engine("replay", "LTRF", latency)
+            assert replay == event
+            assert replay.engine == "replay"
+            outcomes.append(replay.replay_outcome)
+        assert outcomes == ["recorded", "replayed", "replayed"]
+        assert the_timeline().replays_served == 2
+
+    def test_event_and_dense_report_no_outcome(self):
+        assert run_engine("event", "LTRF").replay_outcome == ""
+        assert run_engine("dense", "LTRF").replay_outcome == ""
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_every_builtin_policy_is_recordable(self, policy):
+        """All built-in policies declare separability AND record
+        replayable shapes: the first point of a row never falls back."""
+        assert POLICIES[policy].latency_separable
+        result = run_engine("replay", policy, workload="btree")
+        assert result.replay_outcome == "recorded"
+        assert the_timeline().replayable
+
+    def test_one_timeline_per_row(self):
+        """Latency points of a row share one cache entry; a different
+        seed is a different row."""
+        for latency in (1.0, 2.0, 4.0):
+            run_engine("replay", "LTRF", latency)
+        assert len(cache._timelines) == 1
+        run_engine("replay", "LTRF", seed=1)
+        assert len(cache._timelines) == 2
+
+
+# -- static fallback (non-separable policy) ----------------------------------
+
+
+class CycleSkewedBaseline(BaselinePolicy):
+    """Deliberately latency-NON-separable: the operand path consults
+    the absolute cycle number, which shifts with the swept latency, so
+    this policy must not (and does not) declare ``latency_separable``
+    -- the replay engine has to route it through the event engine."""
+
+    name = "BL-cycleskew"
+    latency_separable = False
+
+    def operand_read_latency(self, warp, instruction, cycle):
+        base = super().operand_read_latency(warp, instruction, cycle)
+        return base + (cycle & 1)
+
+
+class TestStaticFallback:
+    def test_non_separable_policy_takes_event_path(self):
+        config = small_config(2.0)
+        kernel = get_kernel("btree")
+        event = StreamingMultiprocessor(
+            config, CycleSkewedBaseline, engine="event"
+        ).run(kernel)
+        replay = StreamingMultiprocessor(
+            config, CycleSkewedBaseline, engine="replay"
+        ).run(kernel)
+        assert replay == event
+        assert replay.engine == "replay"
+        assert replay.replay_outcome == "fallback-static"
+        # Nothing was recorded: the static gate fires before any
+        # timeline work.
+        assert not cache._timelines
+
+    def test_store_entries_byte_identical_across_engines(self, tmp_path):
+        """A sweep persisted under the replay engine writes the exact
+        bytes the event engine would -- including every fallback point
+        of a non-separable policy."""
+        requests = [
+            SimRequest(workload, policy, small_config(latency), 0)
+            for workload in ("btree",)
+            for policy in ("LTRF", "BL-cycleskew")
+            for latency in (1.0, 2.5, 4.0)
+        ]
+
+        def persisted(engine):
+            cache._timelines.clear()
+            with mock.patch.dict(POLICIES,
+                                 {"BL-cycleskew": CycleSkewedBaseline}), \
+                 mock.patch.dict(os.environ,
+                                 {"LTRF_SIM_ENGINE": engine}):
+                runner = Runner(cache_dir=str(tmp_path / engine))
+                for request in requests:
+                    runner.simulate(request.workload, request.policy,
+                                    request.config, seed=request.seed)
+                entries = {
+                    runner.request_key(request): json.dumps(
+                        runner.result_store.get(
+                            runner.request_key(request)
+                        ),
+                        sort_keys=True,
+                    ).encode()
+                    for request in requests
+                }
+            return entries, runner.stats
+
+        event_entries, _ = persisted("event")
+        replay_entries, stats = persisted("replay")
+        assert replay_entries == event_entries
+        # The non-separable policy's three points all took the static
+        # fallback; the separable row recorded and then either replayed
+        # or (if its hit pattern shifted) diverged honestly -- either
+        # way the bytes above already proved exactness.
+        assert stats.replay_fallbacks_static == 3
+        assert stats.replays_recorded >= 1
+        assert (stats.replays_served + stats.replays_recorded
+                + stats.replay_fallbacks_diverged) == 3
+
+
+# -- divergence ladder -------------------------------------------------------
+
+
+def corrupt_a_deactivation_flag(timeline):
+    """Flip the recorded ``to_mrf`` decision of one long-latency step,
+    so the live memory system contradicts the recording at replay."""
+    for steps in timeline.steps:
+        for index, step in enumerate(steps):
+            if step[0] == 3 and step[2]:       # _LONG_CONST with dsts
+                steps[index] = step[:5] + (not step[5],) + step[6:]
+                return
+            if step[0] == 4 and step[2]:       # _LONG_LIVE with dsts
+                steps[index] = step[:6] + (not step[6],) + step[7:]
+                return
+    raise AssertionError("no long-latency step with destinations found")
+
+
+class TestDivergenceLadder:
+    def test_unproven_timeline_divergence_kills_the_row(self):
+        """First divergence before any replay was served: the row is
+        marked latency-sensitive and every later point takes the plain
+        event path."""
+        run_engine("replay", "LTRF", 1.0)
+        timeline = the_timeline()
+        corrupt_a_deactivation_flag(timeline)
+
+        event = run_engine("event", "LTRF", 2.0)
+        replay = run_engine("replay", "LTRF", 2.0)
+        assert replay == event
+        assert replay.replay_outcome == "fallback-diverged"
+        assert not timeline.replayable
+        assert timeline.divergences == 1
+        assert "diverged" in timeline.reason
+
+        # Dead row: later points fall back without touching the replay
+        # skeleton, still tagged as divergence fallbacks.
+        again = run_engine("replay", "LTRF", 3.0)
+        assert again == run_engine("event", "LTRF", 3.0)
+        assert again.replay_outcome == "fallback-diverged"
+
+    def test_proven_timeline_divergence_reanchors(self):
+        """A timeline that has served replays re-records at the
+        diverging latency, and the fresh recording serves the rest of
+        the row."""
+        run_engine("replay", "LTRF", 1.0)
+        assert run_engine("replay", "LTRF", 2.0).replay_outcome == "replayed"
+        timeline = the_timeline()
+        corrupt_a_deactivation_flag(timeline)
+
+        event = run_engine("event", "LTRF", 3.0)
+        replay = run_engine("replay", "LTRF", 3.0)
+        assert replay == event
+        assert replay.replay_outcome == "fallback-diverged"
+
+        fresh = the_timeline()
+        assert fresh is not timeline
+        assert fresh.replayable
+        assert fresh.divergences == 1           # history carries over
+        assert run_engine("replay", "LTRF", 4.0).replay_outcome == "replayed"
+
+
+# -- cache semantics ---------------------------------------------------------
+
+
+class TestCacheSemantics:
+    def test_cache_escape_hatch_rerecords_every_point(self):
+        with mock.patch.dict(os.environ, {"LTRF_COMPILE_CACHE": "0"}):
+            first = run_engine("replay", "LTRF", 1.0)
+            second = run_engine("replay", "LTRF", 2.0)
+        assert first.replay_outcome == "recorded"
+        assert second.replay_outcome == "recorded"
+        assert not cache._timelines
+        assert second == run_engine("event", "LTRF", 2.0)
+
+    def test_clear_static_cache_drops_timelines(self):
+        run_engine("replay", "LTRF", 1.0)
+        assert cache._timelines
+        clear_static_cache()
+        assert not cache._timelines
+        assert run_engine("replay", "LTRF", 2.0).replay_outcome == "recorded"
+
+    def test_timeline_memo_is_bounded(self):
+        run_engine("replay", "LTRF", 1.0)
+        with mock.patch.object(cache, "TIMELINE_MEMO_LIMIT", 1):
+            run_engine("replay", "LTRF", seed=1)
+        # The table was cleared at the cap, then took the new entry.
+        assert len(cache._timelines) == 1
