@@ -49,6 +49,11 @@ _TELEMETRY_TOTALS = (
     # existed -- the summing loop treats missing keys as zero).
     "replays_served", "replays_recorded", "replay_fallbacks_static",
     "replay_fallbacks_diverged",
+    # Fault-tolerance counters from the chunk scheduler (absent in run
+    # logs written before the distributed backends existed -- again
+    # read as zero).
+    "chunk_retries", "chunk_timeouts", "chunks_quarantined",
+    "backend_degradations",
 )
 
 
@@ -385,6 +390,12 @@ def _html_document(report: SweepReport) -> str:
                 ("compile cache hit rate",
                  telemetry["compile_cache_hit_rate"]),
                 ("pool retries", int(telemetry["pool_retries"])),
+                ("chunk retries", int(telemetry["chunk_retries"])),
+                ("chunk timeouts", int(telemetry["chunk_timeouts"])),
+                ("chunks quarantined",
+                 int(telemetry["chunks_quarantined"])),
+                ("backend degradations",
+                 int(telemetry["backend_degradations"])),
                 ("replay: served from timeline",
                  int(telemetry["replays_served"])),
                 ("replay: recordings",
@@ -397,7 +408,8 @@ def _html_document(report: SweepReport) -> str:
         ))
         sections.append(_table(
             ("run", "time", "simulations", "cache hits", "host seconds",
-             "cycles skipped", "pool retries"),
+             "cycles skipped", "pool retries", "chunk retries",
+             "timeouts", "quarantined"),
             [
                 (
                     entry.get("label", "?"),
@@ -410,6 +422,11 @@ def _html_document(report: SweepReport) -> str:
                     entry.get("host_seconds"),
                     entry.get("cycles_skipped"),
                     entry.get("pool_retries"),
+                    # Pre-backend run logs lack these keys entirely:
+                    # render as 0, not blank.
+                    entry.get("chunk_retries", 0),
+                    entry.get("chunk_timeouts", 0),
+                    entry.get("chunks_quarantined", 0),
                 )
                 for entry in report.runs
             ],

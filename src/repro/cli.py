@@ -15,10 +15,13 @@ Usage (after ``pip install -e .``):
     python -m repro.cli experiment fig14 --arch my-sm.arch.json
     python -m repro.cli sweep backprop --policies BL,LTRF,LTRF+ --jobs 4
     python -m repro.cli sweep backprop --arch maxwell-like,my.arch.json
+    python -m repro.cli sweep backprop --jobs 4 --backend subprocess
+    python -m repro.cli sweep backprop --backend ssh --hosts h1,h2
     python -m repro.cli store stats
     python -m repro.cli store verify
     python -m repro.cli store compact
     python -m repro.cli store migrate [LEGACY_DIR] [--delete-legacy]
+    python -m repro.cli store merge --dir dest/ harvested-worker-store/
     python -m repro.cli report -o report/ [--baseline-policy BL]
     python -m repro.cli diff-runs /path/to/storeA /path/to/storeB
 
@@ -149,6 +152,30 @@ def _apply_engine(engine: Optional[str]) -> None:
         os.environ["LTRF_SIM_ENGINE"] = engine
 
 
+def _add_backend_arguments(command) -> None:
+    """``--backend``/``--hosts`` shared by the grid-running
+    subcommands (sweep, experiment).
+
+    Retry/timeout knobs deliberately stay environment variables
+    (``LTRF_CHUNK_RETRIES``, ``LTRF_CHUNK_TIMEOUT``,
+    ``LTRF_RETRY_BACKOFF``): they tune the machinery, not the
+    experiment, and the same settings must reach `repro worker-chunk`
+    children unchanged.
+    """
+    from repro.launchers import BACKENDS
+    command.add_argument(
+        "--backend", default="local", choices=BACKENDS,
+        help="where grid points execute: local (process pool, "
+             "default), subprocess (one repro worker-chunk process "
+             "per chunk), or ssh (remote hosts; see --hosts)",
+    )
+    command.add_argument(
+        "--hosts", default=None, metavar="H1,H2",
+        help="comma-separated ssh hosts for --backend ssh "
+             "(default: $LTRF_SSH_HOSTS)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="LTRF (ASPLOS 2018) reproduction CLI"
@@ -237,6 +264,7 @@ def _build_parser() -> argparse.ArgumentParser:
              "registry name or .arch.json path",
     )
     _add_engine_argument(experiment)
+    _add_backend_arguments(experiment)
 
     sweep = sub.add_parser("sweep", help="latency-tolerance sweep")
     _add_workload_argument(sweep)
@@ -248,6 +276,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the sweep grid")
     _add_engine_argument(sweep)
+    _add_backend_arguments(sweep)
+
+    worker = sub.add_parser(
+        "worker-chunk",
+        help="execute one chunk spec file (internal: spawned by the "
+             "subprocess/ssh sweep backends)",
+    )
+    worker.add_argument("spec", help="chunk spec JSON (ltrf-chunk v1)")
 
     store = sub.add_parser(
         "store", help="inspect/maintain the on-disk result store"
@@ -260,6 +296,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "compact": "GC pass: rewrite each shard to one duplicate-free "
                    "segment (run while no simulations are writing)",
         "migrate": "ingest a legacy flat-file .ltrf_cache directory",
+        "merge": "fold another store's records into this one (e.g. "
+                 "segments harvested from a remote sweep worker)",
     }
     for name, description in descriptions.items():
         command = store_sub.add_parser(name, help=description)
@@ -267,6 +305,10 @@ def _build_parser() -> argparse.ArgumentParser:
             "--dir", default=None, metavar="DIR",
             help="store root (default: $LTRF_CACHE_DIR or ./.ltrf_cache)",
         )
+        if name == "merge":
+            command.add_argument(
+                "source", help="store root to merge records from"
+            )
         if name == "migrate":
             command.add_argument(
                 "legacy_dir", nargs="?", default=None,
@@ -371,7 +413,8 @@ def _resolve_workload(name: Optional[str],
     return name
 
 
-def _make_runner() -> Runner:
+def _make_runner(backend: str = "local",
+                 hosts: Optional[str] = None) -> Runner:
     """Construct the cached runner, failing cleanly on a bad cache dir.
 
     ``default_cache_dir`` raises ValueError on ``LTRF_CACHE_DIR=""``
@@ -380,10 +423,33 @@ def _make_runner() -> Runner:
     STORE_FORMAT marker; surface both as a one-line error instead of a
     traceback, matching the `store` subcommands.
     """
+    ssh_hosts = None
+    if hosts is not None:
+        ssh_hosts = [host.strip() for host in hosts.split(",")
+                     if host.strip()]
+        if not ssh_hosts:
+            _fail("--hosts is empty; pass a comma-separated host list")
     try:
-        return Runner()
+        return Runner(backend=backend, ssh_hosts=ssh_hosts)
     except (ValueError, StoreError) as error:
         _fail(str(error))
+
+
+def _interrupted(runner: Runner) -> NoReturn:
+    """Ctrl-C during a grid: one-line resume hint, exit 130.
+
+    Everything that completed before the interrupt is already flushed
+    (records are stored as each chunk delivers), so re-running the
+    same command resumes from the store instead of starting over.
+    """
+    stats = runner.stats
+    remaining = max(0, stats.batch_dispatched - stats.simulated)
+    where = runner.cache_dir if runner.cache_dir is not None \
+        else "(no store: cache_dir=None)"
+    print(f"\ninterrupted: completed points are flushed to {where}; "
+          f"about {remaining} dispatched point(s) remain -- re-run "
+          "the same command to resume", file=sys.stderr)
+    raise _CliError(130)
 
 
 def _require_arch_json_suffix(path: str) -> None:
@@ -494,7 +560,9 @@ def _cmd_compile(args) -> None:
 
 def _cmd_experiment(names: List[str], jobs: int,
                     arch: Optional[str] = None,
-                    engine: Optional[str] = None) -> None:
+                    engine: Optional[str] = None,
+                    backend: str = "local",
+                    hosts: Optional[str] = None) -> None:
     _apply_engine(engine)
     selected = sorted(EXPERIMENTS) if "all" in names else names
     if arch is not None:
@@ -505,14 +573,18 @@ def _cmd_experiment(names: List[str], jobs: int,
                   f"{unsupported[0]!r} reproduces a fixed paper "
                   "configuration")
         _resolve_arch_config(arch)      # fail fast, before any simulation
-    runner = _make_runner()
-    for name in selected:
-        if arch is not None:
-            result = ARCH_AWARE[name](runner, jobs, arch)
-        else:
-            result = EXPERIMENTS[name](runner, jobs)
-        print(result.render())
-        print()
+    runner = _make_runner(backend, hosts)
+    try:
+        for name in selected:
+            if arch is not None:
+                result = ARCH_AWARE[name](runner, jobs, arch)
+            else:
+                result = EXPERIMENTS[name](runner, jobs)
+            print(result.render())
+            print()
+    except KeyboardInterrupt:
+        runner.log_run(f"experiment {' '.join(selected)} (interrupted)")
+        _interrupted(runner)
     runner.log_run(f"experiment {' '.join(selected)}")
     print(f"[engine] {runner.render_telemetry()}")
 
@@ -523,17 +595,21 @@ def _cmd_sweep(args) -> None:
     archs = [name.strip() for name in args.arch.split(",")]
     for arch in archs:
         _resolve_arch_config(arch)      # fail fast, before any simulation
-    runner = _make_runner()
+    runner = _make_runner(args.backend, args.hosts)
     policies = [policy.strip() for policy in args.policies.split(",")]
-    runner.simulate_many(
-        [
-            request
-            for arch in archs
-            for policy in policies
-            for request in sweep_requests(policy, workload, arch=arch)
-        ],
-        jobs=args.jobs,
-    )
+    try:
+        runner.simulate_many(
+            [
+                request
+                for arch in archs
+                for policy in policies
+                for request in sweep_requests(policy, workload, arch=arch)
+            ],
+            jobs=args.jobs,
+        )
+    except KeyboardInterrupt:
+        runner.log_run(f"sweep {workload} (interrupted)")
+        _interrupted(runner)
     label_width = max(
         12,
         *(len(f"{policy}@{arch}") for arch in archs for policy in policies),
@@ -653,6 +729,14 @@ def _cmd_store(args) -> None:
             raise _CliError(1)
     elif args.store_command == "compact":
         print(_open_store(root, must_exist=True).compact().render())
+    elif args.store_command == "merge":
+        from repro.store import merge_store
+        source = _open_store(args.source, must_exist=True)
+        dest = _open_store(root, must_exist=False)
+        outcome = merge_store(dest, source)
+        source.close()
+        dest.close()
+        print(outcome.render())
     elif args.store_command == "migrate":
         legacy_dir = args.legacy_dir if args.legacy_dir is not None else root
         if not os.path.isdir(legacy_dir):
@@ -683,6 +767,36 @@ def _cmd_report(args) -> None:
     print(report.summary_text())
     for name in sorted(paths):
         print(f"  wrote {paths[name]}")
+
+
+def _cmd_worker_chunk(args) -> None:
+    """Internal entrypoint of the subprocess/ssh backends.
+
+    Exit codes are the wire protocol the parent classifies on: 0 with
+    a result file is success, :data:`CHUNK_ERROR_EXIT` (70) means "the
+    chunk raised but this worker is healthy" (the traceback goes to
+    stderr, which the parent captures into the failure message), and
+    anything else -- including an injected or real kill -- reads as
+    the worker dying.
+    """
+    from repro.launchers.subproc import CHUNK_ERROR_EXIT
+    from repro.launchers.worker import (
+        ChunkSpecError,
+        load_chunk_spec,
+        run_worker_chunk,
+    )
+    try:
+        spec = load_chunk_spec(args.spec)
+    except ChunkSpecError as error:
+        _fail(str(error))
+    try:
+        result = run_worker_chunk(spec)
+    except Exception:
+        import traceback
+        traceback.print_exc()
+        raise _CliError(CHUNK_ERROR_EXIT)
+    print(f"chunk {spec['chunk']} attempt {spec['attempt']}: "
+          f"{len(result['results'])} record(s) -> {spec['output']}")
 
 
 def _cmd_diff_runs(args) -> None:
@@ -745,9 +859,12 @@ def main(argv: List[str] = None) -> int:
         elif args.command == "list-archs":
             _cmd_list_archs()
         elif args.command == "experiment":
-            _cmd_experiment(args.names, args.jobs, args.arch, args.engine)
+            _cmd_experiment(args.names, args.jobs, args.arch, args.engine,
+                            args.backend, args.hosts)
         elif args.command == "sweep":
             _cmd_sweep(args)
+        elif args.command == "worker-chunk":
+            _cmd_worker_chunk(args)
         elif args.command == "store":
             _cmd_store(args)
         elif args.command == "report":
@@ -756,6 +873,12 @@ def main(argv: List[str] = None) -> int:
             _cmd_diff_runs(args)
     except _CliError as error:
         return int(error.code)
+    except KeyboardInterrupt:
+        # Grid commands print a resume hint before this (see
+        # _interrupted); for everything else a clean one-liner still
+        # beats a KeyboardInterrupt traceback.
+        print("\ninterrupted", file=sys.stderr)
+        return 130
     return 0
 
 

@@ -22,9 +22,19 @@ cache key (naming is injective by construction -- the legacy
 one-file-per-entry cache named files with a lossy key sanitisation
 that could alias two distinct keys onto one file).  Completed records
 are flushed to the store as they arrive, so a sweep killed mid-run
-resumes without re-simulating anything already flushed, and a pool
-whose workers die (``BrokenProcessPool``) is re-dispatched once over
-the unfinished remainder before failing with an actionable error.
+resumes without re-simulating anything already flushed.
+
+Where the misses *run* is pluggable (:mod:`repro.launchers`): a local
+process pool (default), one ``repro worker-chunk`` subprocess per
+chunk, or remote hosts over ssh.  All backends sit under the shared
+scheduler (:mod:`repro.launchers.scheduler`), which retries failed
+chunks with capped backoff, kills and reassigns chunks that blow the
+``LTRF_CHUNK_TIMEOUT`` wall-clock budget, quarantines chunks that
+exhaust their retry budget (they re-run serially in this process,
+where a real poison shows its real traceback), and degrades to serial
+in-process execution when the backend itself is broken -- so a sweep
+finishes late rather than never, and every recovery action is counted
+in :class:`RunnerStats`.
 """
 
 from __future__ import annotations
@@ -34,8 +44,9 @@ import json
 import os
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
+# Resolved as a *module attribute* by launchers.local (and monkeypatched
+# by the scripted-pool tests) -- not referenced by name in this module.
+from concurrent.futures import ProcessPoolExecutor  # noqa: F401
 from dataclasses import asdict, dataclass, field, fields, is_dataclass
 from typing import Dict, Iterable, List, Optional
 
@@ -51,7 +62,6 @@ from repro.compiler.cache import STATS as COMPILE_STATS
 from repro.policies import policy_by_name
 from repro.store import Query, ResultStore
 from repro.workloads import (
-    UnknownWorkloadError,
     resolve_workload,
     workload_fingerprint,
 )
@@ -300,9 +310,17 @@ class RunnerStats:
     batch_requests: int = 0
     batch_deduplicated: int = 0
     batch_dispatched: int = 0
-    #: Times a broken process pool was replaced mid-grid (worker death
-    #: recovery; see Runner._run_parallel).
+    #: Times a broken backend was torn down and rebuilt mid-grid
+    #: (e.g. a broken process pool replaced; see Runner._run_parallel).
     pool_retries: int = 0
+    # Fault-tolerance counters (see repro.launchers.scheduler): every
+    # recovery decision the chunk scheduler takes is visible here, so
+    # a sweep that survived trouble *says so* in telemetry_summary()
+    # and `repro report` instead of silently absorbing it.
+    chunk_retries: int = 0          # failed deliveries re-queued
+    chunk_timeouts: int = 0         # chunks killed at LTRF_CHUNK_TIMEOUT
+    chunks_quarantined: int = 0     # retry budget exhausted -> serial
+    backend_degradations: int = 0   # backend abandoned for serial
     # Aggregated simulation telemetry (simulated-vs-host-time stats).
     host_seconds: float = 0.0
     simulated_cycles: int = 0
@@ -441,12 +459,20 @@ class Runner:
     place ``LTRF_CACHE_DIR`` is honoured -- and names the root of the
     sharded :class:`~repro.store.ResultStore`; ``None`` disables
     on-disk persistence entirely.
+
+    ``backend`` selects where :meth:`simulate_many` misses execute
+    (one of :data:`repro.launchers.BACKENDS`); ``ssh_hosts`` is the
+    host rota for ``backend="ssh"`` (falls back to ``LTRF_SSH_HOSTS``).
     """
 
-    def __init__(self, cache_dir: Optional[str] = _DEFAULT_CACHE) -> None:
+    def __init__(self, cache_dir: Optional[str] = _DEFAULT_CACHE,
+                 backend: str = "local",
+                 ssh_hosts: Optional[List[str]] = None) -> None:
         if cache_dir is _DEFAULT_CACHE:
             cache_dir = default_cache_dir()
         self.cache_dir = cache_dir
+        self.backend = backend
+        self.ssh_hosts = list(ssh_hosts) if ssh_hosts else None
         self.result_store: Optional[ResultStore] = (
             ResultStore(cache_dir) if cache_dir is not None else None
         )
@@ -595,7 +621,15 @@ class Runner:
         # resumable.
         self._memory_cache[key] = record
         if self.result_store is not None:
-            self.result_store.put(key, asdict(record))
+            payload = asdict(record)
+            # Skip the append when the store already holds this exact
+            # payload -- the subprocess/ssh workers flush their own
+            # records into the same store, and re-appending them here
+            # would only grow dead bytes.  A *different* payload is
+            # still appended (it shadows stale-schema entries by
+            # (seq, writer) rank).
+            if self.result_store.get(key) != payload:
+                self.result_store.put(key, payload)
 
     # -- simulation ---------------------------------------------------------
 
@@ -672,97 +706,115 @@ class Runner:
                     results[key] = record
         return [results[key] for key in keys]
 
+    def _probe_flushed(self, key: str) -> Optional[RunRecord]:
+        """A record some worker already flushed to the store, or None.
+
+        Counter-free on purpose: at dispatch time this key was a
+        verified miss, so anything here now was simulated *during this
+        sweep* by a worker that died (or timed out) before delivering
+        -- it is accounted as a simulation, not a cache hit, by the
+        caller.
+        """
+        if self.result_store is None:
+            return None
+        payload = self.result_store.get(key)
+        if payload is None:
+            return None
+        try:
+            record = RunRecord(**payload)
+        except TypeError:
+            return None
+        return record
+
+    def _absorb(self, key: str, record: RunRecord,
+                telemetry: Optional[SimTelemetry], cached: bool,
+                results: Dict[str, RunRecord]) -> None:
+        """Fold one delivered grid point into results and counters.
+
+        The ``key in results`` guard is what keeps ``stats.simulated``
+        honest under retries: a chunk that times out but completes
+        anyway, then succeeds on its retry, delivers some keys twice --
+        they count (and store) exactly once.
+        """
+        if key in results:
+            return
+        results[key] = record
+        self.stats.simulated += 1
+        if telemetry is not None:
+            self.stats.note_telemetry(telemetry)
+            self._store(self._content_key(key, telemetry), record)
+        else:
+            # Served from a dead predecessor's flushed store entry
+            # (cached=True): the simulation ran in this sweep but its
+            # telemetry died with the worker.
+            self._store(key, record)
+
     def _run_parallel(self, items: List[tuple], jobs: int,
                       results: Dict[str, RunRecord]) -> None:
-        """Fan ``(key, request)`` misses out over a process pool.
+        """Fan ``(key, request)`` misses out over the selected backend.
 
         Records are stored (and flushed to the result store) as each
-        chunk completes, so no completed work is ever lost.  If worker
-        processes die (``BrokenProcessPool`` -- OOM killer, hard
-        crash), the unfinished remainder is re-dispatched once on a
-        fresh pool; a second failure raises an actionable error that
-        points at the resume semantics instead of silently discarding
-        the sweep.
+        chunk completes, so no completed work is ever lost.  Failed or
+        hung chunks are retried with backoff, quarantined after
+        exhausting their budget, and -- when the backend itself is
+        broken -- the remainder runs serially in this process (see
+        :mod:`repro.launchers.scheduler`), so the grid always
+        completes; recovery actions land in :class:`RunnerStats`.
         """
-        remaining = items
-        total = len(items)
-        for attempt in (1, 2):
-            broken: Optional[BaseException] = None
-            unknown: Optional[UnknownWorkloadError] = None
-            workers = min(jobs, len(remaining))
-            chunks = _dispatch_chunks(remaining, workers)
-            try:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = {
-                        pool.submit(
-                            execute_batch,
-                            [request for _, request in chunk],
-                        ): chunk
-                        for chunk in chunks
-                    }
-                    for future in as_completed(futures):
-                        chunk = futures[future]
-                        try:
-                            outcomes = future.result()
-                        except UnknownWorkloadError as error:
-                            # Not retryable (registrations are
-                            # per-process), but keep draining so every
-                            # other chunk's completed results are
-                            # stored before we raise.
-                            unknown = error
-                            continue
-                        except BrokenProcessPool as error:
-                            # Keep draining: chunks that finished
-                            # before the pool died still carry
-                            # results we must store.
-                            broken = error
-                            continue
-                        for (key, _), (record, telemetry) in zip(
-                            chunk, outcomes
-                        ):
-                            self.stats.simulated += 1
-                            self.stats.note_telemetry(telemetry)
-                            self._store(
-                                self._content_key(key, telemetry), record
-                            )
-                            results[key] = record
-            except BrokenProcessPool as error:
-                # Raised outside future.result() (e.g. by submit or
-                # pool shutdown) when workers die very early.
-                broken = error
-            if unknown is not None:
-                raise RuntimeError(
-                    f"workload {unknown.name!r} could not be resolved "
-                    "in a worker process: runtime registrations are "
-                    "per-process.  Export it to a .kernel.json file, "
-                    "add it to the suite or built-in families, or run "
-                    "with jobs=1.  (Every other grid point that "
-                    "completed was already flushed to the result "
-                    "store.)"
-                ) from unknown
-            if broken is None:
-                return
-            remaining = [
-                (key, request) for key, request in remaining
-                if key not in results
-            ]
-            if not remaining:
-                return
-            if attempt == 1:
+        from repro.launchers import Chunk, make_launcher
+        from repro.launchers.scheduler import RetryPolicy, run_chunks
+
+        workers = min(jobs, len(items))
+        chunks = [
+            Chunk(id=index, items=list(chunk))
+            for index, chunk in enumerate(_dispatch_chunks(items, workers))
+        ]
+        launcher = make_launcher(
+            self.backend, store_dir=self.cache_dir, hosts=self.ssh_hosts
+        )
+        policy = RetryPolicy.from_env()
+
+        def on_done(chunk: Chunk, outcomes: list) -> None:
+            for (key, _request), (record, telemetry, cached) in zip(
+                chunk.items, outcomes
+            ):
+                self._absorb(key, record, telemetry, cached, results)
+
+        def on_event(kind: str, chunk: Chunk) -> None:
+            if kind == "retry":
+                self.stats.chunk_retries += 1
+            elif kind == "timeout":
+                self.stats.chunk_timeouts += 1
+            elif kind == "quarantine":
+                self.stats.chunks_quarantined += 1
+            elif kind == "degrade":
+                self.stats.backend_degradations += 1
+            elif kind == "restart":
                 self.stats.pool_retries += 1
-                continue
-            raise RuntimeError(
-                "simulation worker process(es) died (BrokenProcessPool) "
-                "twice while running this grid; "
-                f"{len(remaining)} of {total} dispatched point(s) remain "
-                f"unsimulated and {total - len(remaining)} completed "
-                "record(s) were already flushed to the result store.  "
-                "Re-running the same sweep resumes from the store "
-                "without repeating them.  If the crash persists, run "
-                "with jobs=1 to isolate the failing grid point; common "
-                "causes are the OOM killer (reduce --jobs) or a worker "
-                "hitting a hard fault."
-            ) from broken
+
+        def run_serial(rest: List[Chunk]) -> None:
+            # Quarantined chunks and broken-backend remainders execute
+            # here, in the orchestrating process: no worker identity,
+            # so the fault harness never fires, and a genuinely
+            # poisoned grid point raises its real traceback.  Records
+            # a dead worker already flushed are served, not re-run.
+            for chunk in rest:
+                for key, request in chunk.items:
+                    if key in results:
+                        continue
+                    flushed = self._probe_flushed(key)
+                    if flushed is not None:
+                        self._absorb(key, flushed, None, True, results)
+                        continue
+                    record, telemetry = execute_request_with_telemetry(
+                        request
+                    )
+                    self._absorb(key, record, telemetry, False, results)
+
+        run_chunks(
+            launcher, chunks, workers, policy,
+            on_done=on_done, run_serial=run_serial, on_event=on_event,
+        )
 
     # -- telemetry ----------------------------------------------------------
 
@@ -789,6 +841,10 @@ class Runner:
             "replays_recorded": stats.replays_recorded,
             "replay_fallbacks_static": stats.replay_fallbacks_static,
             "replay_fallbacks_diverged": stats.replay_fallbacks_diverged,
+            "chunk_retries": stats.chunk_retries,
+            "chunk_timeouts": stats.chunk_timeouts,
+            "chunks_quarantined": stats.chunks_quarantined,
+            "backend_degradations": stats.backend_degradations,
         }
 
     def log_run(self, label: str) -> Optional[Dict[str, object]]:
@@ -852,6 +908,21 @@ class Runner:
                 f"{summary['replay_fallbacks_static']} static + "
                 f"{summary['replay_fallbacks_diverged']} diverged "
                 "fallback(s)"
+            )
+        faults_survived = (
+            summary["chunk_retries"] + summary["chunk_timeouts"]
+            + summary["chunks_quarantined"]
+            + summary["backend_degradations"]
+        )
+        if faults_survived:
+            # Only rendered when something actually went wrong, so a
+            # clean run's paragraph is unchanged.
+            text += (
+                f"; fault tolerance: {summary['chunk_retries']} chunk "
+                f"retry(ies), {summary['chunk_timeouts']} timeout(s), "
+                f"{summary['chunks_quarantined']} quarantined, "
+                f"{summary['backend_degradations']} backend "
+                "degradation(s)"
             )
         return text
 

@@ -1,0 +1,78 @@
+"""Pluggable sweep execution backends (see base.py for the contract).
+
+Three launchers ship: ``local`` (process pool, the default),
+``subprocess`` (one ``repro worker-chunk`` process per chunk), and
+``ssh`` (chunks on remote hosts, stores merged back).  All of them sit
+under the same scheduler (scheduler.py) -- retries, timeouts,
+quarantine and degradation behave identically regardless of where a
+chunk physically runs -- and the same deterministic fault-injection
+harness (faults.py) exercises them in tests and CI.
+"""
+
+from repro.launchers.base import (
+    Chunk,
+    ChunkHandle,
+    ChunkOutcome,
+    Launcher,
+    LauncherError,
+    worker_id,
+)
+from repro.launchers.faults import (
+    ENV_FAULT_PLAN,
+    FaultPlanError,
+    parse_fault_plan,
+)
+from repro.launchers.scheduler import (
+    ENV_CHUNK_RETRIES,
+    ENV_CHUNK_TIMEOUT,
+    ENV_RETRY_BACKOFF,
+    RetryPolicy,
+    SchedulerReport,
+    run_chunks,
+)
+
+#: ``--backend`` choices, in help-text order.
+BACKENDS = ("local", "subprocess", "ssh")
+
+
+def make_launcher(backend: str, store_dir=None, hosts=None) -> Launcher:
+    """Instantiate the launcher for a ``--backend`` name.
+
+    ``store_dir`` is the orchestrator's result-store root (workers
+    flush to it directly, or via merge on ssh); ``hosts`` is the ssh
+    rota (falls back to ``LTRF_SSH_HOSTS``).
+    """
+    if backend == "local":
+        from repro.launchers.local import LocalPoolLauncher
+        return LocalPoolLauncher()
+    if backend == "subprocess":
+        from repro.launchers.subproc import SubprocessLauncher
+        return SubprocessLauncher(store_dir=store_dir)
+    if backend == "ssh":
+        from repro.launchers.ssh import SshLauncher
+        return SshLauncher(hosts=hosts, store_dir=store_dir)
+    raise ValueError(
+        f"unknown backend {backend!r} (expected one of "
+        f"{', '.join(BACKENDS)})"
+    )
+
+
+__all__ = [
+    "BACKENDS",
+    "Chunk",
+    "ChunkHandle",
+    "ChunkOutcome",
+    "ENV_CHUNK_RETRIES",
+    "ENV_CHUNK_TIMEOUT",
+    "ENV_FAULT_PLAN",
+    "ENV_RETRY_BACKOFF",
+    "FaultPlanError",
+    "Launcher",
+    "LauncherError",
+    "RetryPolicy",
+    "SchedulerReport",
+    "make_launcher",
+    "parse_fault_plan",
+    "run_chunks",
+    "worker_id",
+]

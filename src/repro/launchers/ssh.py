@@ -1,0 +1,283 @@
+"""SSH launcher: chunks execute on remote hosts.
+
+Each chunk attempt is shipped to one host of a round-robin rota: the
+chunk spec (requests with their full ``ltrf-arch`` payloads) plus any
+``.kernel.json`` files the requests reference are copied over with
+``scp``, the worker runs ``python -m repro.cli worker-chunk`` there,
+and on success the result file and the worker's store are copied back
+-- the store merged into the orchestrator's store through
+:func:`repro.store.merge.merge_store`, so remote records land with the
+same durability semantics local ones have.
+
+Remote-side assumptions are deliberately thin: a reachable host with
+the repro package importable by ``LTRF_SSH_PYTHON`` (default
+``python3``).  No registry, no shared filesystem, no daemon.
+
+Testability: ``LTRF_SSH_CMD`` / ``LTRF_SCP_CMD`` replace the ``ssh`` /
+``scp`` binaries (shlex-split), so the tier-1 suite exercises this
+launcher end-to-end with local shims -- same spec wiring, same merge
+path, no network.
+"""
+
+from __future__ import annotations
+
+import os
+import shlex
+import shutil
+import subprocess
+import tempfile
+from typing import List, Optional
+
+from repro.launchers.base import (
+    Chunk,
+    ChunkHandle,
+    ChunkOutcome,
+    Launcher,
+    LauncherError,
+)
+from repro.launchers.subproc import (
+    CHUNK_ERROR_EXIT,
+    _stderr_tail,
+    align_results,
+    spec_environment,
+)
+from repro.launchers.worker import (
+    ChunkSpecError,
+    encode_chunk_spec,
+    load_chunk_result,
+)
+
+ENV_SSH_HOSTS = "LTRF_SSH_HOSTS"
+ENV_SSH_CMD = "LTRF_SSH_CMD"
+ENV_SCP_CMD = "LTRF_SCP_CMD"
+ENV_SSH_PYTHON = "LTRF_SSH_PYTHON"
+
+
+def _tool(env_name: str, default: str) -> List[str]:
+    return shlex.split(os.environ.get(env_name) or default)
+
+
+def ssh_hosts(cli_hosts: Optional[str] = None) -> List[str]:
+    """Host rota from ``--hosts`` or ``LTRF_SSH_HOSTS`` (comma lists)."""
+    text = cli_hosts or os.environ.get(ENV_SSH_HOSTS, "")
+    return [host.strip() for host in text.split(",") if host.strip()]
+
+
+class _SshHandle(ChunkHandle):
+    def __init__(self, chunk: Chunk, process, launcher, host: str,
+                 remote_dir: str, local_dir: str, attempt: int) -> None:
+        super().__init__(chunk)
+        self.process = process
+        self.launcher = launcher
+        self.host = host
+        self.remote_dir = remote_dir
+        self.local_dir = local_dir
+        self.attempt = attempt
+        self.stderr_path = os.path.join(local_dir, "worker.stderr")
+
+    def poll(self) -> Optional[ChunkOutcome]:
+        code = self.process.poll()
+        if code is None:
+            return None
+        self.launcher._release(self)
+        if code == 0:
+            try:
+                entries = self.launcher._harvest(self)
+            except (ChunkSpecError, LauncherError) as error:
+                return ChunkOutcome(status="error", message=str(error))
+            return ChunkOutcome(
+                status="ok", results=align_results(self.chunk, entries)
+            )
+        tail = _stderr_tail(self.stderr_path)
+        if code == CHUNK_ERROR_EXIT:
+            return ChunkOutcome(status="error", message=tail)
+        return ChunkOutcome(
+            status="died",
+            message=f"ssh worker on {self.host} exited with code {code}"
+                    + (f": {tail}" if tail else ""),
+        )
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            try:
+                self.process.kill()
+                self.process.wait(timeout=5)
+            except Exception:
+                pass
+        self.launcher._release(self)
+
+
+class SshLauncher(Launcher):
+    """``--backend ssh``: chunks on remote hosts over ssh/scp."""
+
+    name = "ssh"
+
+    def __init__(self, hosts: Optional[List[str]] = None,
+                 store_dir: Optional[str] = None) -> None:
+        super().__init__()
+        self.hosts = list(hosts) if hosts else ssh_hosts()
+        self.store_dir = store_dir
+        self._workdir: Optional[str] = None
+        self._live: set = set()
+        self._rota = 0
+
+    def max_workers(self, requested: int) -> int:
+        if not self.hosts:
+            return 1
+        return max(1, min(requested, len(self.hosts)))
+
+    def start(self, workers: int) -> None:
+        if not self.hosts:
+            raise LauncherError(
+                "ssh backend needs hosts: pass --hosts or set "
+                f"{ENV_SSH_HOSTS} (comma-separated)"
+            )
+        self._workdir = tempfile.mkdtemp(prefix="ltrf-ssh-")
+
+    # -- process plumbing ---------------------------------------------------
+
+    def _run(self, argv: List[str], what: str) -> None:
+        """Run a blocking setup/harvest command; LauncherError on
+        failure (the backend, not the chunk, is at fault)."""
+        try:
+            result = subprocess.run(
+                argv, capture_output=True, text=True, timeout=120
+            )
+        except (OSError, subprocess.TimeoutExpired) as error:
+            raise LauncherError(f"{what} failed: {error}")
+        if result.returncode != 0:
+            detail = (result.stderr or result.stdout or "").strip()
+            raise LauncherError(
+                f"{what} failed (exit {result.returncode})"
+                + (f": {detail[-500:]}" if detail else "")
+            )
+
+    def _ssh(self, host: str, command: str, what: str) -> None:
+        self._run(_tool(ENV_SSH_CMD, "ssh") + [host, command], what)
+
+    def _scp(self, source: str, target: str, what: str,
+             recursive: bool = False) -> None:
+        argv = _tool(ENV_SCP_CMD, "scp")
+        if recursive:
+            argv = argv + ["-r"]
+        self._run(argv + [source, target], what)
+
+    def _release(self, handle: "_SshHandle") -> None:
+        self._live.discard(handle)
+
+    # -- chunk lifecycle ----------------------------------------------------
+
+    def submit(self, chunk: Chunk) -> ChunkHandle:
+        import json
+
+        host = self.hosts[self._rota % len(self.hosts)]
+        self._rota += 1
+        worker = f"w{(self._rota - 1) % len(self.hosts) + 1}"
+        stem = f"chunk-{chunk.id}-a{chunk.failures}"
+        local_dir = os.path.join(self._workdir, stem)
+        os.makedirs(local_dir, exist_ok=True)
+        remote_dir = f"/tmp/ltrf-{os.getpid()}-{stem}"
+
+        self._ssh(host, f"mkdir -p {shlex.quote(remote_dir)}",
+                  f"creating {remote_dir} on {host}")
+
+        # Ship referenced .kernel.json files and point the spec's
+        # requests at their remote copies.
+        items = list(chunk.items)
+        shipped = {}
+        from repro.workloads.registry import KERNEL_FILE_SUFFIX
+        for _key, request in items:
+            workload = request.workload
+            if workload.endswith(KERNEL_FILE_SUFFIX) \
+                    and workload not in shipped:
+                remote_kernel = (
+                    f"{remote_dir}/k{len(shipped)}-"
+                    f"{os.path.basename(workload)}"
+                )
+                self._scp(workload, f"{host}:{remote_kernel}",
+                          f"shipping {workload} to {host}")
+                shipped[workload] = remote_kernel
+
+        spec = encode_chunk_spec(
+            chunk.id, chunk.failures, worker, items,
+            output=f"{remote_dir}/result.json",
+            store_dir=f"{remote_dir}/store",
+            env=spec_environment(),
+        )
+        for entry in spec["requests"]:
+            if entry["workload"] in shipped:
+                entry["workload"] = shipped[entry["workload"]]
+        spec_path = os.path.join(local_dir, "spec.json")
+        with open(spec_path, "w", encoding="utf-8") as handle:
+            json.dump(spec, handle, sort_keys=True)
+        self._scp(spec_path, f"{host}:{remote_dir}/spec.json",
+                  f"shipping chunk {chunk.id} spec to {host}")
+
+        python = os.environ.get(ENV_SSH_PYTHON) or "python3"
+        command = (
+            f"cd {shlex.quote(remote_dir)} && "
+            f"LTRF_WORKER_ID={shlex.quote(worker)} "
+            f"{python} -m repro.cli worker-chunk spec.json"
+        )
+        stderr_path = os.path.join(local_dir, "worker.stderr")
+        with open(stderr_path, "w", encoding="utf-8") as errs:
+            process = subprocess.Popen(
+                _tool(ENV_SSH_CMD, "ssh") + [host, command],
+                stdout=errs, stderr=errs,
+            )
+        handle = _SshHandle(chunk, process, self, host, remote_dir,
+                            local_dir, chunk.failures)
+        self._live.add(handle)
+        return handle
+
+    def _harvest(self, handle: "_SshHandle") -> list:
+        """Copy a finished chunk's result + store segments home and
+        merge them; returns the validated result entries."""
+        result_path = os.path.join(handle.local_dir, "result.json")
+        self._scp(f"{handle.host}:{handle.remote_dir}/result.json",
+                  result_path,
+                  f"fetching chunk {handle.chunk.id} result "
+                  f"from {handle.host}")
+        entries = load_chunk_result(result_path, handle.chunk.id,
+                                    handle.attempt)
+        if self.store_dir is not None:
+            remote_store = os.path.join(handle.local_dir, "store")
+            self._scp(f"{handle.host}:{handle.remote_dir}/store",
+                      remote_store,
+                      f"fetching chunk {handle.chunk.id} store "
+                      f"from {handle.host}", recursive=True)
+            if os.path.isdir(remote_store):
+                from repro.store import ResultStore, StoreError
+                from repro.store.merge import merge_store
+
+                try:
+                    source = ResultStore(remote_store, create=False)
+                except StoreError as error:
+                    raise LauncherError(
+                        f"chunk {handle.chunk.id} store from "
+                        f"{handle.host} is unreadable: {error}"
+                    )
+                dest = ResultStore(self.store_dir)
+                try:
+                    merge_store(dest, source)
+                finally:
+                    source.close()
+                    dest.close()
+        self._ssh(handle.host,
+                  f"rm -rf {shlex.quote(handle.remote_dir)}",
+                  f"cleaning {handle.remote_dir} on {handle.host}")
+        return entries
+
+    def shutdown(self, kill: bool = False) -> None:
+        for handle in list(self._live):
+            if kill:
+                handle.kill()
+            else:
+                try:
+                    handle.process.wait(timeout=30)
+                except Exception:
+                    handle.kill()
+        self._live.clear()
+        if self._workdir is not None:
+            shutil.rmtree(self._workdir, ignore_errors=True)
+            self._workdir = None

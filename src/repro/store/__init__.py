@@ -9,6 +9,7 @@ from repro.store.legacy import (
     migrate_legacy_dir,
     write_legacy_entry,
 )
+from repro.store.merge import MergeOutcome, merge_store
 from repro.store.query import (
     AGGREGATORS,
     ParsedKey,
@@ -29,6 +30,7 @@ __all__ = [
     "AGGREGATORS",
     "CompactionReport",
     "DEFAULT_SHARDS",
+    "MergeOutcome",
     "MigrationReport",
     "ParsedKey",
     "Query",
@@ -40,6 +42,7 @@ __all__ = [
     "count_legacy_entries",
     "iter_legacy_entries",
     "legacy_entry_name",
+    "merge_store",
     "migrate_legacy_dir",
     "parse_key",
     "write_legacy_entry",

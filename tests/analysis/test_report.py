@@ -82,6 +82,40 @@ class TestBuildReport:
         assert any("corrupt line(s)" in note for note in report.notes)
         assert "corrupt line(s)" in report.summary_text()
 
+    def test_fault_tolerance_counters_aggregate_and_render(
+            self, tmp_path):
+        runner = sweep_runner(tmp_path)
+        runner.stats.chunk_retries = 3
+        runner.stats.chunk_timeouts = 1
+        runner.stats.chunks_quarantined = 2
+        runner.stats.backend_degradations = 1
+        runner.log_run("chaotic sweep")
+        report = build_report(runner.results())
+        assert report.telemetry["chunk_retries"] == 3
+        assert report.telemetry["chunk_timeouts"] == 1
+        assert report.telemetry["chunks_quarantined"] == 2
+        assert report.telemetry["backend_degradations"] == 1
+        paths = write_report(report, str(tmp_path / "out"))
+        html = open(paths["report.html"]).read()
+        assert "chunk retries" in html and "quarantined" in html
+
+    def test_pre_backend_run_logs_read_as_zero(self, tmp_path):
+        """Run logs written before the distributed backend existed
+        carry none of the fault-tolerance keys; they must aggregate
+        as zero, not crash the report."""
+        runner = sweep_runner(tmp_path)
+        runner.result_store.append_run_log({
+            "label": "old-format run", "time": 1700000000,
+            "simulations": 7, "cache_hits": 0, "host_seconds": 0.5,
+        })
+        report = build_report(runner.results())
+        assert report.telemetry["chunk_retries"] == 0
+        assert report.telemetry["chunk_timeouts"] == 0
+        assert report.telemetry["chunks_quarantined"] == 0
+        assert report.telemetry["backend_degradations"] == 0
+        paths = write_report(report, str(tmp_path / "out"))
+        assert "old-format run" in open(paths["report.html"]).read()
+
     def test_bench_trajectory(self, tmp_path):
         write_bench(tmp_path / "BENCH_1.json", {"bench::a": 1.5})
         write_bench(tmp_path / "BENCH_2.json",

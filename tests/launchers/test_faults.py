@@ -1,0 +1,121 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.launchers.faults import (
+    Fault,
+    FaultPlan,
+    FaultPlanError,
+    active_plan,
+    parse_fault_plan,
+    tear_segment,
+)
+
+
+class TestParsing:
+    def test_kill_by_chunk(self):
+        (fault,) = parse_fault_plan("kill:chunk=2")
+        assert fault == Fault(action="kill", chunk=2, worker=None)
+
+    def test_kill_after_count(self):
+        (fault,) = parse_fault_plan("kill:chunk=2:after=1")
+        assert fault.after == 1
+
+    def test_kill_by_worker(self):
+        (fault,) = parse_fault_plan("kill:worker=w1")
+        assert fault.worker == "w1" and fault.chunk is None
+
+    def test_delay_with_suffix_and_fraction(self):
+        (a, b) = parse_fault_plan("delay:chunk=5:30s,delay:chunk=6:0.5")
+        assert a.seconds == 30.0
+        assert b.seconds == 0.5
+
+    def test_always_modifier(self):
+        (fault,) = parse_fault_plan("kill:chunk=1:always")
+        assert fault.always
+
+    def test_corrupt_segment_by_writer(self):
+        (fault,) = parse_fault_plan("corrupt-segment:writer=w1")
+        assert fault.action == "corrupt-segment"
+        assert fault.worker == "w1"
+
+    def test_whitespace_and_empty_clauses_tolerated(self):
+        plan = parse_fault_plan(" kill:chunk=1 , ,delay:chunk=2:1s ")
+        assert [fault.action for fault in plan] == ["kill", "delay"]
+
+    @pytest.mark.parametrize("text", [
+        "explode:chunk=1",          # unknown action
+        "kill",                     # missing selector
+        "kill:warp=3",              # unknown selector
+        "kill:chunk=abc",           # non-integer chunk id
+        "kill:worker=",             # empty worker id
+        "delay:chunk=1",            # missing duration
+        "delay:chunk=1:soon",       # unparseable duration
+        "delay:chunk=1:-3s",        # negative duration
+        "kill:chunk=1:after=x",     # bad after count
+        "kill:chunk=1:sometimes",   # unknown modifier
+        "delay:worker=w1:1s:after=2",   # after= only applies to kill
+    ])
+    def test_malformed_plans_raise_loudly(self, text):
+        with pytest.raises(FaultPlanError):
+            parse_fault_plan(text)
+
+
+class TestMatching:
+    def test_first_attempt_only_by_default(self):
+        (fault,) = parse_fault_plan("kill:chunk=2")
+        assert fault.matches(2, "w1", attempt=0)
+        assert not fault.matches(2, "w1", attempt=1)   # retry survives
+
+    def test_always_fires_on_retries(self):
+        (fault,) = parse_fault_plan("kill:chunk=2:always")
+        assert fault.matches(2, "w1", attempt=3)
+
+    def test_worker_selector(self):
+        (fault,) = parse_fault_plan("delay:worker=w2:1s")
+        assert fault.matches(0, "w2", attempt=0)
+        assert not fault.matches(0, "w1", attempt=0)
+
+
+class TestSafetyRail:
+    def test_plan_is_inert_in_the_orchestrator(self, monkeypatch):
+        """Without a worker identity (the orchestrating process, or a
+        quarantined chunk degraded to serial) no fault ever fires --
+        including a kill that would take pytest down with it."""
+        monkeypatch.delenv("LTRF_WORKER_ID", raising=False)
+        plan = FaultPlan(parse_fault_plan("kill:chunk=0:always,"
+                                          "delay:chunk=0:60s:always"))
+        assert plan.worker is None
+        plan.on_chunk_start(0, 0)        # would kill or hang a worker
+        plan.on_request_done(0, 0, completed=5)
+        assert not plan.corrupt_segment_path(0, 0)
+
+    def test_active_plan_reads_env(self, monkeypatch):
+        monkeypatch.setenv("LTRF_FAULT_PLAN", "corrupt-segment:writer=w9")
+        plan = active_plan(worker="w9")
+        assert plan.corrupt_segment_path(0, 0)
+
+    def test_active_plan_empty_when_unset(self, monkeypatch):
+        monkeypatch.delenv("LTRF_FAULT_PLAN", raising=False)
+        assert active_plan(worker="w1").faults == []
+
+    def test_active_plan_malformed_env_raises(self, monkeypatch):
+        monkeypatch.setenv("LTRF_FAULT_PLAN", "kill")
+        with pytest.raises(FaultPlanError):
+            active_plan(worker="w1")
+
+
+class TestTearSegment:
+    def test_torn_tail_is_invisible_and_verify_stays_green(self, tmp_path):
+        from repro.store import ResultStore
+
+        store = ResultStore(str(tmp_path))
+        store.put("alpha", {"value": 1})
+        tear_segment(store)
+        store.close()
+
+        reopened = ResultStore(str(tmp_path))
+        assert reopened.get("alpha") == {"value": 1}
+        report = reopened.verify()
+        assert report.ok
+        reopened.close()

@@ -264,6 +264,36 @@ class TestCrashConsistency:
         assert reader.get("k2") == {"v": 2}          # completed: visible
         assert reader.get("k1") == {"v": 1}
 
+    def test_dead_writer_torn_segment_then_rerun_wins_by_rank(
+            self, tmp_path):
+        """A concurrent writer dies mid-append (a killed sweep worker):
+        its torn final line stays invisible to a live reader's delta
+        rescan, a later writer's re-run of the lost point wins by
+        (seq, writer) rank, and verify stays green throughout."""
+        reader = ResultStore(str(tmp_path), shards=1)
+        dying = ResultStore(str(tmp_path), shards=1)
+        dying.put("done", {"v": 1})
+        segment = dying._states[dying.shard_of("lost")].writer_path
+        with open(segment, "ab") as handle:   # killed mid-append
+            handle.write(b'{"k": "lost", "r": {"v')
+        # (never closed -- the writer process is gone)
+        assert reader.get("done") == {"v": 1}
+        assert reader.get("lost") is None        # torn: invisible
+
+        rerun = ResultStore(str(tmp_path), shards=1)  # higher seq
+        rerun.put("lost", {"v": 2})
+        rerun.put("done", {"v": 1})              # idempotent re-put
+        # The live reader's delta rescan picks up the re-run...
+        assert reader.get("lost") == {"v": 2}
+        assert reader.get("done") == {"v": 1}
+        # ...and a fresh full replay agrees: the re-run's segment
+        # outranks the dead writer's.
+        fresh = ResultStore(str(tmp_path), shards=1)
+        assert fresh.get("lost") == {"v": 2}
+        report = fresh.verify()
+        assert report.ok
+        assert report.stats.torn_tails == 1
+
     def test_live_index_matches_full_replay_winner(self, tmp_path):
         """Two writers' active segments grow concurrently; a live
         reader applying deltas out of rank order must still converge

@@ -508,3 +508,113 @@ class TestArchFrontend:
     def test_experiment_unknown_arch_fails_fast(self, capsys):
         assert main(["experiment", "fig14", "--arch", "maxwel-like"]) == 2
         assert "did you mean" in capsys.readouterr().err
+
+
+class TestFaultToleranceCli:
+    """The distributed-backend surface: --backend/--hosts,
+    worker-chunk, store merge, and graceful interruption."""
+
+    def _chunk_spec(self, tmp_path):
+        import json
+
+        from repro.arch import GPUConfig
+        from repro.experiments import Runner, SimRequest
+        from repro.launchers.worker import encode_chunk_spec
+        runner = Runner(cache_dir=None)
+        request = SimRequest(
+            "btree", "BL", GPUConfig(max_resident_warps=8, active_warps=4)
+        )
+        spec = encode_chunk_spec(
+            0, 0, "w1", [(runner.request_key(request), request)],
+            output=str(tmp_path / "result.json"),
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec, sort_keys=True))
+        return str(path), str(tmp_path / "result.json")
+
+    def test_sweep_accepts_backend_flag(self, capsys, monkeypatch,
+                                        tmp_path):
+        monkeypatch.setenv("LTRF_CACHE_DIR", str(tmp_path / "store"))
+        assert main(["sweep", "btree", "--policies", "BL",
+                     "--jobs", "2", "--backend", "subprocess"]) == 0
+        assert "tolerates" in capsys.readouterr().out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "btree", "--backend", "carrier-pigeon"])
+
+    def test_empty_hosts_list_fails_cleanly(self, capsys):
+        assert main(["sweep", "btree", "--backend", "ssh",
+                     "--hosts", " , "]) == 2
+        assert "--hosts is empty" in capsys.readouterr().err
+
+    def test_worker_chunk_roundtrip(self, capsys, tmp_path):
+        import json
+        import os
+        spec_path, output = self._chunk_spec(tmp_path)
+        try:
+            assert main(["worker-chunk", spec_path]) == 0
+        finally:
+            # Running the worker entrypoint in-process marked pytest
+            # as a worker; forget that before any other test runs.
+            os.environ.pop("LTRF_WORKER_ID", None)
+        assert "1 record(s)" in capsys.readouterr().out
+        payload = json.loads(open(output).read())
+        assert payload["format"] == "ltrf-chunk-result"
+
+    def test_worker_chunk_rejects_bad_spec(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["worker-chunk", str(bad)]) == 2
+        assert "not a chunk spec" in capsys.readouterr().err
+
+    def test_store_merge(self, capsys, tmp_path):
+        from repro.store import ResultStore
+        source = ResultStore(str(tmp_path / "remote"))
+        source.put("a", {"v": 1})
+        source.close()
+        dest_root = str(tmp_path / "home")
+        assert main(["store", "merge", "--dir", dest_root,
+                     str(tmp_path / "remote")]) == 0
+        assert "merged 1 of 1" in capsys.readouterr().out
+        dest = ResultStore(dest_root, create=False)
+        assert dest.get("a") == {"v": 1}
+        dest.close()
+
+    def test_store_merge_missing_source_fails_cleanly(self, capsys,
+                                                      tmp_path):
+        assert main(["store", "merge", "--dir", str(tmp_path / "dest"),
+                     str(tmp_path / "nowhere")]) == 2
+        assert "no result store" in capsys.readouterr().err
+
+    def test_interrupted_sweep_exits_130_with_resume_hint(
+            self, capsys, monkeypatch, tmp_path):
+        """Ctrl-C mid-grid: no traceback, exit 130, and a one-line
+        hint naming the store and the points remaining."""
+        from repro.experiments import Runner
+        monkeypatch.setenv("LTRF_CACHE_DIR", str(tmp_path / "store"))
+
+        def interrupt(self, requests, jobs=None):
+            requests = list(requests)
+            self.stats.batch_dispatched += len(requests)
+            self.stats.simulated += 1        # one point "completed"
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(Runner, "simulate_many", interrupt)
+        assert main(["sweep", "btree", "--policies", "BL,RFC"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted: completed points are flushed to" in err
+        assert "re-run the same command to resume" in err
+        assert "point(s) remain" in err
+
+    def test_interrupted_experiment_exits_130(self, capsys, monkeypatch,
+                                              tmp_path):
+        from repro.experiments import Runner
+        monkeypatch.setenv("LTRF_CACHE_DIR", str(tmp_path / "store"))
+
+        def interrupt(self, requests, jobs=None):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(Runner, "simulate_many", interrupt)
+        assert main(["experiment", "fig9a"]) == 130
+        assert "interrupted" in capsys.readouterr().err
