@@ -1,0 +1,241 @@
+"""Load generator for the sweep service: hot/cold/mixed client mixes.
+
+Run with:  PYTHONPATH=src python scripts/load_gen.py [--url URL]
+
+Without ``--url`` it self-hosts a service on a loopback port over a
+fresh temporary store, so the numbers are reproducible from a clean
+checkout.  Three request mixes:
+
+* **hot** -- every client repeats the *same* small sweep spec.  After
+  the warmup request the whole grid is store hits, so this measures
+  the serving overhead (HTTP + planning + cache lookups) alone.
+* **cold** -- every request is a unique single-point spec (the seed
+  varies), so each one pays exactly one real simulation.  This is the
+  price serving is amortising.
+* **mixed** -- clients alternate hot and cold, the steady-state shape
+  of a shared results service.
+
+Reports p50/p95/mean latency and throughput per mix, plus the
+cold-p50 : hot-p95 ratio -- the headline "serving a warmed store is
+N x cheaper than simulating" number.  Numbers are *reported, not
+gated* by default (this is a load benchmark, and CI machines are
+noisy); pass ``--min-ratio`` to turn the ratio into an exit status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional
+
+#: Small machine: single grid point simulations stay ~tens of ms.
+OVERRIDES = {"max_resident_warps": 8, "active_warps": 4}
+
+#: The hot spec every repeat request re-submits (all hits after warmup).
+HOT_SPEC = {
+    "workloads": "btree",
+    "policies": ["BL", "LTRF"],
+    "grid": [1.0, 2.0, 4.0],
+    "overrides": OVERRIDES,
+    "label": "load-gen hot",
+}
+
+
+def cold_spec(index: int) -> Dict[str, object]:
+    """A unique single-point spec: distinct seed -> guaranteed miss."""
+    return {
+        "workloads": "btree",
+        "policies": ["LTRF"],
+        "grid": [2.0],
+        "seed": 10_000 + index,
+        "overrides": OVERRIDES,
+        "label": f"load-gen cold {index}",
+    }
+
+
+def post_sweep(url: str, spec: Dict[str, object],
+               timeout: float = 120.0) -> Dict[str, object]:
+    request = urllib.request.Request(
+        f"{url}/sweeps?wait=1",
+        data=json.dumps(spec).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    if payload.get("state") != "done":
+        raise RuntimeError(f"job did not complete: {payload}")
+    return payload
+
+
+def run_mix(url: str, name: str, specs: List[Dict[str, object]],
+            clients: int) -> Dict[str, float]:
+    """Issue ``specs`` across ``clients`` threads; per-request seconds."""
+    latencies: List[float] = []
+    lock = threading.Lock()
+    queue = list(enumerate(specs))
+
+    def worker() -> None:
+        while True:
+            with lock:
+                if not queue:
+                    return
+                _, spec = queue.pop(0)
+            start = time.perf_counter()
+            post_sweep(url, spec)
+            elapsed = time.perf_counter() - start
+            with lock:
+                latencies.append(elapsed)
+
+    started = time.perf_counter()
+    threads = [threading.Thread(target=worker, daemon=True)
+               for _ in range(max(1, clients))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    ordered = sorted(latencies)
+    p95_index = min(len(ordered) - 1, int(0.95 * len(ordered)))
+    return {
+        "requests": len(ordered),
+        "p50_ms": statistics.median(ordered) * 1e3,
+        "p95_ms": ordered[p95_index] * 1e3,
+        "mean_ms": statistics.fmean(ordered) * 1e3,
+        "throughput_rps": len(ordered) / wall if wall else 0.0,
+    }
+
+
+def start_self_hosted(store_dir: str) -> tuple:
+    """Serve on a loopback port in a daemon thread; (url, stop)."""
+    from repro.service import ServiceApp, ServiceServer
+
+    app = ServiceApp(store_dir, job_workers=2)
+    server = ServiceServer(app, host="127.0.0.1", port=0)
+    ready = threading.Event()
+    holder: Dict[str, object] = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+
+        async def run() -> None:
+            task = loop.create_task(server.run())
+            while server.port == 0:
+                await asyncio.sleep(0.01)
+            holder["port"] = server.port
+            ready.set()
+            await task
+
+        loop.run_until_complete(run())
+        loop.close()
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    if not ready.wait(timeout=30.0):
+        raise RuntimeError("self-hosted service did not come up")
+
+    def stop() -> None:
+        server.stop()
+        thread.join(timeout=30.0)
+
+    return f"http://127.0.0.1:{holder['port']}", stop
+
+
+def wait_healthy(url: str, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(f"{url}/healthz", timeout=5.0):
+                return
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.2)
+    raise RuntimeError(f"no healthy service at {url}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="load-generate the sweep service (hot/cold/mixed)"
+    )
+    parser.add_argument("--url", default=None,
+                        help="target a running service instead of "
+                             "self-hosting one")
+    parser.add_argument("--requests", type=int, default=20, metavar="N",
+                        help="requests per mix (default: 20)")
+    parser.add_argument("--clients", type=int, default=2, metavar="N",
+                        help="concurrent client threads (default: 2; "
+                             "more clients on a small box measures "
+                             "queueing, not serving)")
+    parser.add_argument("--min-ratio", type=float, default=None,
+                        metavar="R",
+                        help="fail (exit 1) unless cold-p50/hot-p95 "
+                             ">= R (default: report only)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also dump the raw stats as JSON")
+    args = parser.parse_args(argv)
+
+    stop = None
+    tmp = None
+    if args.url is None:
+        tmp = tempfile.TemporaryDirectory(prefix="load_gen_store_")
+        url, stop = start_self_hosted(tmp.name)
+        print(f"self-hosted service at {url} (store: {tmp.name})")
+    else:
+        url = args.url.rstrip("/")
+    wait_healthy(url)
+
+    try:
+        print("warmup: submitting the hot spec once...")
+        post_sweep(url, HOT_SPEC)
+
+        mixes = {
+            "hot": [dict(HOT_SPEC) for _ in range(args.requests)],
+            "cold": [cold_spec(i) for i in range(args.requests)],
+        }
+        mixed: List[Dict[str, object]] = []
+        for index in range(args.requests):
+            mixed.append(dict(HOT_SPEC) if index % 2 == 0
+                         else cold_spec(args.requests + index))
+        mixes["mixed"] = mixed
+
+        stats: Dict[str, Dict[str, float]] = {}
+        for name, specs in mixes.items():
+            stats[name] = run_mix(url, name, specs, args.clients)
+            line = stats[name]
+            print(f"{name:6s} {line['requests']:4d} req  "
+                  f"p50 {line['p50_ms']:8.1f} ms  "
+                  f"p95 {line['p95_ms']:8.1f} ms  "
+                  f"mean {line['mean_ms']:8.1f} ms  "
+                  f"{line['throughput_rps']:6.1f} req/s")
+
+        hot_p95 = stats["hot"]["p95_ms"]
+        cold_p50 = stats["cold"]["p50_ms"]
+        ratio = cold_p50 / hot_p95 if hot_p95 else float("inf")
+        print(f"cold p50 / hot p95 = {ratio:.1f}x "
+              "(hot requests are pure store hits)")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump({"stats": stats, "ratio": ratio}, handle,
+                          indent=2, sort_keys=True)
+            print(f"wrote {args.json}")
+        if args.min_ratio is not None and ratio < args.min_ratio:
+            print(f"FAIL: ratio {ratio:.1f}x < required "
+                  f"{args.min_ratio:.1f}x", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        if stop is not None:
+            stop()
+        if tmp is not None:
+            tmp.cleanup()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ from repro.analysis.report import (
     SweepReport,
     build_report,
     discover_bench_files,
+    render_html,
     write_report,
 )
 
@@ -23,5 +24,6 @@ __all__ = [
     "build_report",
     "diff_runs",
     "discover_bench_files",
+    "render_html",
     "write_report",
 ]

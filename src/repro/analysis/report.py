@@ -472,6 +472,16 @@ def _html_document(report: SweepReport) -> str:
     return "\n".join(sections)
 
 
+def render_html(report: SweepReport) -> str:
+    """The report as one self-contained HTML document.
+
+    The public rendering surface shared by ``repro report`` (which
+    writes it to disk via :func:`write_report`) and the HTTP service's
+    ``GET /report/<job>`` (which serves it directly).
+    """
+    return _html_document(report)
+
+
 def write_report(report: SweepReport, out_dir: str) -> Dict[str, str]:
     """Write the HTML and CSV artifacts; returns name -> path."""
     os.makedirs(out_dir, exist_ok=True)
@@ -483,7 +493,7 @@ def write_report(report: SweepReport, out_dir: str) -> Dict[str, str]:
                                              "bench_trajectory.csv"),
     }
     with open(paths["report.html"], "w", encoding="utf-8") as handle:
-        handle.write(_html_document(report))
+        handle.write(render_html(report))
     _write_records_csv(report, paths["records.csv"])
     _write_deltas_csv(report, paths["deltas.csv"])
     _write_bench_csv(report, paths["bench_trajectory.csv"])

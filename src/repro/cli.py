@@ -59,7 +59,7 @@ from repro.compiler import compile_kernel
 from repro.experiments import (
     Runner,
     fig2, fig3, fig4, fig9, fig10, fig11, fig12, fig13, fig14,
-    max_tolerable_latency, normalized_sweep, overheads, sweep_requests,
+    overheads, render_sweep_table, sweep_requests,
     table1, table2, table4,
 )
 from repro.experiments.runner import default_cache_dir
@@ -277,6 +277,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the sweep grid")
     _add_engine_argument(sweep)
     _add_backend_arguments(sweep)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep service: an HTTP API over the jobs layer "
+             "(POST /sweeps, GET /jobs/<id>, GET /results, "
+             "GET /report/<id>)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="TCP port; 0 picks a free one "
+                            "(default: 8642)")
+    serve.add_argument(
+        "--dir", default=None, metavar="DIR",
+        help="store root (default: $LTRF_CACHE_DIR or ./.ltrf_cache)",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=2, metavar="N",
+        help="sweep jobs executing concurrently (default: 2)",
+    )
+    _add_engine_argument(serve)
+    _add_backend_arguments(serve)
 
     worker = sub.add_parser(
         "worker-chunk",
@@ -610,20 +632,35 @@ def _cmd_sweep(args) -> None:
     except KeyboardInterrupt:
         runner.log_run(f"sweep {workload} (interrupted)")
         _interrupted(runner)
-    label_width = max(
-        12,
-        *(len(f"{policy}@{arch}") for arch in archs for policy in policies),
-    ) if len(archs) > 1 else 12
-    for arch in archs:
-        for policy in policies:
-            sweep = normalized_sweep(runner, policy, workload, arch=arch)
-            tolerable = max_tolerable_latency(sweep)
-            curve = "  ".join(f"{value:.2f}" for value in sweep)
-            label = f"{policy}@{arch}" if len(archs) > 1 else policy
-            print(f"{label:{label_width}s} {curve}  "
-                  f"-> tolerates {tolerable:.1f}x")
+    # One shared renderer with the job tracker (`repro serve`), so the
+    # service's completed-job table is byte-identical to this output.
+    print(render_sweep_table(runner, workload, policies, archs))
     runner.log_run(f"sweep {workload}")
     print(f"[engine] {runner.render_telemetry()}")
+
+
+def _cmd_serve(args) -> None:
+    """Run the HTTP sweep service over one store until signalled."""
+    _apply_engine(args.engine)
+    root = _store_root(args)
+    # Initialise the store eagerly (and fail cleanly on a bad root) so
+    # /results and /report work from the first request.
+    _open_store(root, must_exist=False).close()
+    ssh_hosts = None
+    if args.hosts is not None:
+        ssh_hosts = [host.strip() for host in args.hosts.split(",")
+                     if host.strip()]
+        if not ssh_hosts:
+            _fail("--hosts is empty; pass a comma-separated host list")
+    if args.job_workers < 1:
+        _fail("--job-workers must be at least 1")
+    from repro.service import ServiceApp, serve
+
+    app = ServiceApp(root, backend=args.backend, ssh_hosts=ssh_hosts,
+                     job_workers=args.job_workers)
+    code = serve(app, host=args.host, port=args.port)
+    if code:
+        raise _CliError(code)
 
 
 def _cmd_export_kernel(args) -> None:
@@ -863,6 +900,8 @@ def main(argv: List[str] = None) -> int:
                             args.backend, args.hosts)
         elif args.command == "sweep":
             _cmd_sweep(args)
+        elif args.command == "serve":
+            _cmd_serve(args)
         elif args.command == "worker-chunk":
             _cmd_worker_chunk(args)
         elif args.command == "store":

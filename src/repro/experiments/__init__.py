@@ -11,6 +11,7 @@ from repro.experiments.latency_tolerance import (
     fig14,
     max_tolerable_latency,
     normalized_sweep,
+    render_sweep_table,
     sweep_requests,
 )
 from repro.experiments.report import ExperimentResult, geomean, mean, render_table
@@ -48,6 +49,7 @@ __all__ = [
     "mean",
     "normalized_sweep",
     "overheads",
+    "render_sweep_table",
     "render_table",
     "storage_report",
     "sweep_config",

@@ -39,7 +39,7 @@ FIG11_POLICIES = ("BL", "RFC", "LTRF", "LTRF+")
 
 def sweep_requests(policy: str, workload: str,
                    grid: Sequence[float] = LATENCY_GRID,
-                   arch="maxwell-like",
+                   arch="maxwell-like", seed: int = 0,
                    **config_overrides) -> List[SimRequest]:
     """The batch requests for one design's latency sweep.
 
@@ -49,7 +49,8 @@ def sweep_requests(policy: str, workload: str,
     """
     return [
         SimRequest(workload, policy,
-                   sweep_config(m, arch=arch, **config_overrides))
+                   sweep_config(m, arch=arch, **config_overrides),
+                   seed=seed)
         for m in grid
     ]
 
@@ -95,6 +96,40 @@ def max_tolerable_latency(normalized: Sequence[float],
             )
         break
     return tolerable
+
+
+def render_sweep_table(runner: Runner, workload: str,
+                       policies: Sequence[str],
+                       archs: Sequence[str] = ("maxwell-like",),
+                       grid: Sequence[float] = LATENCY_GRID,
+                       **config_overrides) -> str:
+    """The ``repro sweep`` table for one workload, as a string.
+
+    One line per (architecture, policy): the normalised IPC curve over
+    ``grid`` plus the interpolated maximum tolerable latency.  Shared
+    by the CLI ``sweep`` command and the job tracker's completed-job
+    rendering, so the two are byte-identical by construction (the
+    service smoke test pins this).  Reads through the public cache
+    surface -- a grid already warmed by ``simulate_many`` costs pure
+    lookups.
+    """
+    policies = list(policies)
+    archs = list(archs)
+    label_width = max(
+        12,
+        *(len(f"{policy}@{arch}") for arch in archs for policy in policies),
+    ) if len(archs) > 1 else 12
+    lines = []
+    for arch in archs:
+        for policy in policies:
+            sweep = normalized_sweep(runner, policy, workload, grid,
+                                     arch=arch, **config_overrides)
+            tolerable = max_tolerable_latency(sweep, grid)
+            curve = "  ".join(f"{value:.2f}" for value in sweep)
+            label = f"{policy}@{arch}" if len(archs) > 1 else policy
+            lines.append(f"{label:{label_width}s} {curve}  "
+                         f"-> tolerates {tolerable:.1f}x")
+    return "\n".join(lines)
 
 
 def fig11(runner: Runner, workloads: Optional[List[str]] = None,

@@ -360,6 +360,32 @@ class RunnerStats:
             return 0.0
         return self.simulated_cycles / self.host_seconds
 
+    def copy(self) -> "RunnerStats":
+        """An independent snapshot of every counter."""
+        clone = RunnerStats(**{
+            spec.name: getattr(self, spec.name)
+            for spec in fields(self) if spec.name != "event_counts"
+        })
+        clone.event_counts = dict(self.event_counts)
+        return clone
+
+    def delta_since(self, baseline: "RunnerStats") -> "RunnerStats":
+        """Counter-wise ``self - baseline``: what happened since the
+        baseline snapshot was taken (used by :meth:`Runner.log_run` to
+        write per-sweep run-log entries while the lifetime totals stay
+        on the runner)."""
+        delta = RunnerStats(**{
+            spec.name: getattr(self, spec.name) - getattr(baseline,
+                                                          spec.name)
+            for spec in fields(self) if spec.name != "event_counts"
+        })
+        delta.event_counts = {
+            kind: count - baseline.event_counts.get(kind, 0)
+            for kind, count in self.event_counts.items()
+            if count - baseline.event_counts.get(kind, 0)
+        }
+        return delta
+
     def note_telemetry(self, telemetry: "SimTelemetry") -> None:
         """Fold one simulation's execution report into the aggregate."""
         self.host_seconds += telemetry.host_seconds
@@ -478,6 +504,10 @@ class Runner:
         )
         self._memory_cache: Dict[str, RunRecord] = {}
         self.stats = RunnerStats()
+        #: Counter snapshot at the last :meth:`log_run`, so run-log
+        #: entries are per-sweep deltas (summable by reports) while
+        #: ``self.stats`` keeps process-lifetime totals.
+        self._logged_stats = RunnerStats()
         if self.result_store is not None \
                 and self.result_store.has_legacy_entries():
             _warn_legacy_entries(cache_dir)
@@ -671,40 +701,17 @@ class Runner:
         simulated.  With ``jobs`` > 1 the misses run on a process pool.
         The returned list is aligned with ``requests`` and independent
         of completion order, so results are identical for any ``jobs``.
+
+        Since the jobs layer (:mod:`repro.jobs`) was extracted this is
+        a thin wrapper over ``plan -> execute -> merge``; the
+        concurrent serving path drives the same three stages with
+        progress and cancellation hooks.
         """
-        requests = list(requests)
-        before = BUILD_STATS.snapshot()
-        keys = [self.request_key(request) for request in requests]
-        self._note_front_end_builds(before)
-        self.stats.batch_requests += len(requests)
+        from repro.jobs.plan import execute_plan, plan_requests
 
-        results: Dict[str, RunRecord] = {}
-        pending: Dict[str, SimRequest] = {}
-        for key, request in zip(keys, requests):
-            if key in results or key in pending:
-                self.stats.batch_deduplicated += 1
-                continue
-            cached = self._load_or_migrate(key, request)
-            if cached is not None:
-                results[key] = cached
-            else:
-                pending[key] = request
-        self.stats.batch_dispatched += len(pending)
-
-        if pending:
-            items = list(pending.items())
-            if jobs is not None and jobs > 1 and len(items) > 1:
-                self._run_parallel(items, jobs, results)
-            else:
-                for key, request in items:
-                    record, telemetry = execute_request_with_telemetry(
-                        request
-                    )
-                    self.stats.simulated += 1
-                    self.stats.note_telemetry(telemetry)
-                    self._store(self._content_key(key, telemetry), record)
-                    results[key] = record
-        return [results[key] for key in keys]
+        plan = plan_requests(self, requests)
+        execute_plan(self, plan, jobs=jobs)
+        return plan.merge()
 
     def _probe_flushed(self, key: str) -> Optional[RunRecord]:
         """A record some worker already flushed to the store, or None.
@@ -750,7 +757,8 @@ class Runner:
             self._store(key, record)
 
     def _run_parallel(self, items: List[tuple], jobs: int,
-                      results: Dict[str, RunRecord]) -> None:
+                      results: Dict[str, RunRecord],
+                      on_point=None, should_abort=None) -> None:
         """Fan ``(key, request)`` misses out over the selected backend.
 
         Records are stored (and flushed to the result store) as each
@@ -760,9 +768,20 @@ class Runner:
         broken -- the remainder runs serially in this process (see
         :mod:`repro.launchers.scheduler`), so the grid always
         completes; recovery actions land in :class:`RunnerStats`.
+
+        ``on_point(key)`` observes every newly completed grid point as
+        its chunk delivers (the job tracker's progress feed);
+        ``should_abort`` is polled by the scheduler and the serial
+        escape hatch, raising
+        :class:`~repro.launchers.scheduler.SweepAborted` after flushed
+        records are safe.
         """
         from repro.launchers import Chunk, make_launcher
-        from repro.launchers.scheduler import RetryPolicy, run_chunks
+        from repro.launchers.scheduler import (
+            RetryPolicy,
+            SweepAborted,
+            run_chunks,
+        )
 
         workers = min(jobs, len(items))
         chunks = [
@@ -774,11 +793,18 @@ class Runner:
         )
         policy = RetryPolicy.from_env()
 
+        def absorb(key, record, telemetry, cached) -> None:
+            if key in results:
+                return
+            self._absorb(key, record, telemetry, cached, results)
+            if on_point is not None:
+                on_point(key)
+
         def on_done(chunk: Chunk, outcomes: list) -> None:
             for (key, _request), (record, telemetry, cached) in zip(
                 chunk.items, outcomes
             ):
-                self._absorb(key, record, telemetry, cached, results)
+                absorb(key, record, telemetry, cached)
 
         def on_event(kind: str, chunk: Chunk) -> None:
             if kind == "retry":
@@ -802,26 +828,39 @@ class Runner:
                 for key, request in chunk.items:
                     if key in results:
                         continue
+                    if should_abort is not None and should_abort():
+                        raise SweepAborted(
+                            "sweep aborted during serial re-run; "
+                            "completed points are flushed"
+                        )
                     flushed = self._probe_flushed(key)
                     if flushed is not None:
-                        self._absorb(key, flushed, None, True, results)
+                        absorb(key, flushed, None, True)
                         continue
                     record, telemetry = execute_request_with_telemetry(
                         request
                     )
-                    self._absorb(key, record, telemetry, False, results)
+                    absorb(key, record, telemetry, False)
 
         run_chunks(
             launcher, chunks, workers, policy,
             on_done=on_done, run_serial=run_serial, on_event=on_event,
+            should_abort=should_abort,
         )
 
     # -- telemetry ----------------------------------------------------------
 
-    def telemetry_summary(self) -> Dict[str, object]:
+    def telemetry_summary(
+            self, stats: Optional[RunnerStats] = None) -> Dict[str, object]:
         """Simulated-vs-host-time statistics for everything this runner
-        actually simulated (cache hits contribute nothing)."""
-        stats = self.stats
+        actually simulated (cache hits contribute nothing).
+
+        ``stats`` defaults to the runner's lifetime counters; pass a
+        :meth:`RunnerStats.delta_since` slice to summarise one sweep of
+        a long-lived runner (what :meth:`log_run` records).
+        """
+        if stats is None:
+            stats = self.stats
         return {
             "simulations": stats.simulated,
             "cache_hits": stats.hits,
@@ -855,24 +894,37 @@ class Runner:
         *which* sweep produced the numbers.  Telemetry is host-specific
         and advisory, which is why it lives beside -- not inside -- the
         deterministic record segments.  Returns the logged entry, or
-        ``None`` when the runner has no store or simulated nothing
-        worth recording (no simulations and no cache traffic).
+        ``None`` when the runner has no store or nothing happened since
+        the previous :meth:`log_run` worth recording (no simulations,
+        no cache traffic, no fault recovery).
+
+        Each entry covers only the activity **since the previous
+        log_run** of this runner: reports sum entries, so a long-lived
+        runner logging after every sweep (the serving path, or two
+        ``simulate_many`` calls in one process) must not re-report the
+        first sweep's counters inside the second entry.
+        :meth:`telemetry_summary` keeps returning lifetime totals.
         """
         if self.result_store is None:
             return None
-        summary = self.telemetry_summary()
-        if not summary["simulations"] and not summary["cache_hits"]:
+        delta = self.stats.delta_since(self._logged_stats)
+        summary = self.telemetry_summary(delta)
+        recovered = (delta.chunk_retries + delta.chunk_timeouts
+                     + delta.chunks_quarantined + delta.backend_degradations)
+        if not summary["simulations"] and not summary["cache_hits"] \
+                and not recovered:
             return None
         entry: Dict[str, object] = {
             "label": label,
             "time": time.time(),
-            "pool_retries": self.stats.pool_retries,
-            "batch_requests": self.stats.batch_requests,
-            "memory_hits": self.stats.memory_hits,
-            "disk_hits": self.stats.disk_hits,
+            "pool_retries": delta.pool_retries,
+            "batch_requests": delta.batch_requests,
+            "memory_hits": delta.memory_hits,
+            "disk_hits": delta.disk_hits,
         }
         entry.update(summary)
         self.result_store.append_run_log(entry)
+        self._logged_stats = self.stats.copy()
         return entry
 
     def render_telemetry(self) -> str:

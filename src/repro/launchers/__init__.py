@@ -28,6 +28,7 @@ from repro.launchers.scheduler import (
     ENV_RETRY_BACKOFF,
     RetryPolicy,
     SchedulerReport,
+    SweepAborted,
     run_chunks,
 )
 
@@ -71,6 +72,7 @@ __all__ = [
     "LauncherError",
     "RetryPolicy",
     "SchedulerReport",
+    "SweepAborted",
     "make_launcher",
     "parse_fault_plan",
     "run_chunks",

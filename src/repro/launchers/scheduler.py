@@ -58,6 +58,20 @@ ENV_CHUNK_RETRIES = "LTRF_CHUNK_RETRIES"
 ENV_RETRY_BACKOFF = "LTRF_RETRY_BACKOFF"
 
 
+class SweepAborted(RuntimeError):
+    """A sweep was cancelled cooperatively (``should_abort`` returned
+    True) rather than failing.
+
+    Raised by :func:`run_chunks` -- and by the serial execution path in
+    :mod:`repro.jobs.plan` -- after in-flight work has been killed and
+    the launcher shut down.  Everything already delivered to
+    ``on_done`` (and therefore flushed by the runner) survives, which
+    is what makes an aborted sweep resumable: re-running the same grid
+    picks up from the store.  The job tracker maps this onto the
+    ``partial`` job state.
+    """
+
+
 def _env_float(name: str, default: Optional[float]) -> Optional[float]:
     text = os.environ.get(name)
     if text is None or not text.strip():
@@ -152,6 +166,7 @@ def run_chunks(
     on_done: Callable[[Chunk, list], None],
     run_serial: Callable[[List[Chunk]], None],
     on_event: Optional[Callable[[str, Chunk], None]] = None,
+    should_abort: Optional[Callable[[], bool]] = None,
 ) -> SchedulerReport:
     """Drive ``chunks`` through ``launcher`` to completion.
 
@@ -165,7 +180,11 @@ def run_chunks(
     KeyboardInterrupt is honoured eagerly: in-flight work is killed,
     the launcher shut down, and the interrupt re-raised -- everything
     already delivered to ``on_done`` (and therefore flushed by the
-    runner) survives.
+    runner) survives.  ``should_abort`` is the programmatic twin
+    (polled once per scheduling round): when it returns True the same
+    teardown happens and :class:`SweepAborted` is raised -- how the
+    job tracker cancels a sweep mid-grid without owning the thread's
+    signal handling.
     """
     report = SchedulerReport()
     events = on_event or (lambda kind, chunk: None)
@@ -216,6 +235,13 @@ def run_chunks(
     cap = launcher.max_workers(workers)
     try:
         while queue or in_flight:
+            if should_abort is not None and should_abort():
+                launcher.shutdown(kill=True)
+                raise SweepAborted(
+                    f"sweep aborted with {len(queue)} queued and "
+                    f"{len(in_flight)} in-flight chunk(s); completed "
+                    "chunks are already delivered"
+                )
             now = time.monotonic()
             progressed = False
 

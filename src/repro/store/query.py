@@ -221,14 +221,20 @@ class Query:
               seed: Optional[int] = None,
               schema_ok: Optional[bool] = None,
               min_latency: Optional[float] = None,
-              max_latency: Optional[float] = None) -> "Query":
+              max_latency: Optional[float] = None,
+              key_in: Optional[Sequence[str]] = None) -> "Query":
         """Equality filters on the key dimensions, plus a latency band.
 
         Latency bounds compare the manifest-resolved MRF latency
         multiple; records whose architecture the manifest does not know
         never match a latency bound (unknown is not "within range").
+        ``key_in`` restricts to an explicit key set -- how the service
+        scopes ``GET /report/<job>`` to exactly one job's grid.
         """
         checks: List[Callable[[StoredRecord], bool]] = []
+        if key_in is not None:
+            wanted = frozenset(key_in)
+            checks.append(lambda r: r.key in wanted)
         if workload is not None:
             checks.append(lambda r: r.workload == workload)
         if policy is not None:

@@ -188,3 +188,20 @@ class TestWriteReport:
         html = open(paths["report.html"]).read()
         assert "corrupt line" in html
         assert "note: store damage" in html
+
+
+class TestRenderHtml:
+    """`render_html` is the public rendering surface shared by
+    `write_report` and the service's GET /report/<id>."""
+
+    def test_matches_the_written_report_byte_for_byte(self, tmp_path):
+        from repro.analysis import render_html
+
+        runner = sweep_runner(tmp_path)
+        report = build_report(Query(runner.result_store))
+        html = render_html(report)
+        assert html.lstrip().lower().startswith("<!doctype html") \
+            or "<html" in html.lower()
+        paths = write_report(report, str(tmp_path / "out"))
+        with open(paths["report.html"], encoding="utf-8") as handle:
+            assert handle.read() == html

@@ -691,3 +691,60 @@ class TestResumableSweeps:
         summary = runner.telemetry_summary()
         assert summary["chunk_retries"] >= 1
         assert "fault tolerance" in runner.render_telemetry()
+
+
+class TestRunLogDeltas:
+    """A long-lived runner logging after each sweep reports per-sweep
+    deltas; `telemetry_summary()` keeps lifetime totals.  Pins the
+    serving-path contract: successive `simulate_many` calls must not
+    re-report earlier sweeps' counters in later run-log entries."""
+
+    def test_successive_sweeps_log_disjoint_deltas(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        first_grid = [SimRequest("btree", policy, SMALL)
+                      for policy in ("BL", "RFC")]
+        runner.simulate_many(first_grid)
+        first = runner.log_run("first sweep")
+        assert first["simulations"] == 2
+        assert first["cache_hits"] == 0
+        assert first["batch_requests"] == 2
+
+        second_grid = first_grid + [
+            SimRequest("kmeans", policy, SMALL)
+            for policy in ("BL", "RFC")
+        ]
+        runner.simulate_many(second_grid)
+        second = runner.log_run("second sweep")
+        assert second["simulations"] == 2      # only the new points
+        assert second["cache_hits"] == 2       # the repeated points
+        assert second["batch_requests"] == 4
+
+        # Lifetime totals are untouched by the per-sweep slicing.
+        lifetime = runner.telemetry_summary()
+        assert lifetime["simulations"] == 4
+        assert lifetime["cache_hits"] == 2
+
+        history = runner.results().run_history()
+        assert [entry["label"] for entry in history] \
+            == ["first sweep", "second sweep"]
+        assert sum(entry["simulations"] for entry in history) == 4
+
+    def test_idle_interval_logs_nothing(self, tmp_path):
+        runner = Runner(cache_dir=str(tmp_path))
+        runner.simulate_many([SimRequest("btree", "BL", SMALL)])
+        assert runner.log_run("active") is not None
+        assert runner.log_run("idle since") is None
+        assert len(runner.results().run_history()) == 1
+
+    def test_fault_recovery_alone_still_logs(self, tmp_path):
+        """An interval with no simulations but with recovery actions
+        (retries, timeouts) must be recorded -- that telemetry is how
+        chaos tests and operators see the survival story."""
+        runner = Runner(cache_dir=str(tmp_path))
+        runner.simulate_many([SimRequest("btree", "BL", SMALL)])
+        runner.log_run("warm")
+        runner.stats.chunk_retries += 1
+        entry = runner.log_run("recovered")
+        assert entry is not None
+        assert entry["chunk_retries"] == 1
+        assert entry["simulations"] == 0

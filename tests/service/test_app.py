@@ -1,0 +1,236 @@
+"""Tests for the transport-free service app: routing and responses."""
+
+import json
+import threading
+
+import pytest
+
+from repro.jobs import JobSpec
+from repro.service import ServiceApp
+
+SMALL = {"max_resident_warps": 8, "active_warps": 4}
+
+SPEC = {
+    "workloads": "btree",
+    "policies": ["BL", "LTRF"],
+    "grid": [1.0, 3.0],
+    "overrides": SMALL,
+}
+
+
+@pytest.fixture
+def app(tmp_path):
+    app = ServiceApp(str(tmp_path), job_workers=1)
+    yield app
+    app.drain()
+    app.close()
+
+
+def body_of(response):
+    return json.loads(response.body)
+
+
+def submit_and_wait(app, spec=None):
+    response = app.handle("POST", "/sweeps", {"wait": "1"},
+                          json.dumps(spec or SPEC).encode())
+    assert response.status == 200, response.body
+    return body_of(response)
+
+
+class TestRoutes:
+    def test_healthz(self, app):
+        response = app.handle("GET", "/healthz", {}, b"")
+        assert response.status == 200
+        payload = body_of(response)
+        assert payload["status"] == "ok"
+        assert set(payload["jobs"]) == {"queued", "running", "done",
+                                        "partial", "failed"}
+
+    def test_submit_wait_runs_to_done(self, app):
+        snapshot = submit_and_wait(app)
+        assert snapshot["state"] == "done"
+        assert snapshot["progress"]["executed"] == 4
+        assert len(snapshot["records"]) == 4
+        assert "table" in snapshot
+
+    def test_submit_async_returns_202(self, app):
+        response = app.handle("POST", "/sweeps", {},
+                              json.dumps(SPEC).encode())
+        assert response.status == 202
+        snapshot = body_of(response)
+        assert snapshot["state"] in ("queued", "running")
+        assert "records" not in snapshot
+        app.tracker.get(snapshot["id"]).wait(timeout=120.0)
+
+    def test_job_listing_and_detail(self, app):
+        job_id = submit_and_wait(app)["id"]
+        listing = body_of(app.handle("GET", "/jobs", {}, b""))
+        assert [job["id"] for job in listing["jobs"]] == [job_id]
+        assert "records" not in listing["jobs"][0]
+        detail = body_of(app.handle("GET", f"/jobs/{job_id}", {}, b""))
+        assert detail["state"] == "done"
+        assert len(detail["records"]) == 4
+
+    def test_table_is_text_plain(self, app):
+        job_id = submit_and_wait(app)["id"]
+        response = app.handle("GET", f"/jobs/{job_id}/table", {}, b"")
+        assert response.status == 200
+        assert response.content_type.startswith("text/plain")
+        assert "tolerates" in response.body
+
+    def test_table_before_done_is_conflict(self, app):
+        job = app.tracker.submit(
+            JobSpec.from_dict(SPEC)
+        )
+        response = app.handle("GET", f"/jobs/{job.id}/table", {}, b"")
+        assert response.status == 409
+
+    def test_cancel_via_delete(self, app):
+        job = app.tracker.submit(
+            JobSpec.from_dict(SPEC)
+        )
+        response = app.handle("DELETE", f"/jobs/{job.id}", {}, b"")
+        assert response.status == 200
+        assert body_of(response)["cancelled"] is True
+
+    def test_results_filters(self, app):
+        submit_and_wait(app)
+        payload = body_of(app.handle("GET", "/results",
+                                     {"policy": "BL"}, b""))
+        assert payload["count"] == 2
+        assert all(row["policy"] == "BL" for row in payload["records"])
+        assert "payload" not in payload["records"][0]
+        full = body_of(app.handle(
+            "GET", "/results", {"policy": "BL", "limit": "1", "full": "1"},
+            b"",
+        ))
+        assert full["count"] == 2 and full["returned"] == 1
+        assert "ipc" in full["records"][0]["payload"]
+
+    def test_report_is_html_scoped_to_the_job(self, app):
+        job_id = submit_and_wait(app)["id"]
+        submit_and_wait(app, dict(SPEC, seed=9))    # unrelated records
+        response = app.handle("GET", f"/report/{job_id}", {}, b"")
+        assert response.status == 200
+        assert response.content_type.startswith("text/html")
+        assert "<html" in response.body.lower()
+        job = app.tracker.get(job_id)
+        from repro.store.query import Query
+
+        scoped = Query.open(app.store_dir).where(key_in=job.keys)
+        assert scoped.count() == 4
+
+    def test_wait_falsy_values_do_not_block(self, app):
+        response = app.handle("POST", "/sweeps", {"wait": "0"},
+                              json.dumps(SPEC).encode())
+        assert response.status == 202
+        app.tracker.get(body_of(response)["id"]).wait(timeout=120.0)
+
+
+class TestErrors:
+    def test_unknown_route_404(self, app):
+        assert app.handle("GET", "/nope", {}, b"").status == 404
+
+    def test_unknown_job_404(self, app):
+        response = app.handle("GET", "/jobs/job-9999", {}, b"")
+        assert response.status == 404
+        assert "job-9999" in body_of(response)["error"]
+
+    def test_wrong_method_405(self, app):
+        assert app.handle("GET", "/sweeps", {}, b"").status == 405
+        assert app.handle("PUT", "/jobs/job-0001", {}, b"").status == 405
+
+    def test_bad_json_400(self, app):
+        response = app.handle("POST", "/sweeps", {}, b"{nope")
+        assert response.status == 400
+        assert "JSON" in body_of(response)["error"]
+
+    def test_bad_spec_400(self, app):
+        response = app.handle(
+            "POST", "/sweeps", {},
+            json.dumps({"workloads": "btree", "polices": ["BL"]}).encode(),
+        )
+        assert response.status == 400
+        assert "polices" in body_of(response)["error"]
+
+    def test_unknown_results_filter_400(self, app):
+        response = app.handle("GET", "/results", {"ipc": "2"}, b"")
+        assert response.status == 400
+
+    def test_bad_results_value_400(self, app):
+        response = app.handle("GET", "/results", {"seed": "many"}, b"")
+        assert response.status == 400
+
+    def test_results_without_store_404(self, tmp_path):
+        app = ServiceApp(str(tmp_path / "missing"), job_workers=1)
+        try:
+            response = app.handle("GET", "/results", {}, b"")
+            assert response.status == 404
+            assert "no result store" in body_of(response)["error"]
+        finally:
+            app.close()
+
+    def test_report_before_run_is_conflict(self, app):
+        job = app.tracker.submit(
+            JobSpec.from_dict(SPEC)
+        )
+        assert app.handle("GET", f"/report/{job.id}", {}, b"").status == 409
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_submissions_simulate_once(self, tmp_path):
+        """Two identical POST /sweeps racing end as two done jobs with
+        identical payloads, and the store's run logs account exactly
+        one simulation per unique grid point."""
+        from repro.store.query import Query
+
+        app = ServiceApp(str(tmp_path), job_workers=2)
+        try:
+            results = [None, None]
+
+            def post(slot):
+                results[slot] = app.handle(
+                    "POST", "/sweeps", {"wait": "1"},
+                    json.dumps(SPEC).encode(),
+                )
+
+            threads = [threading.Thread(target=post, args=(slot,))
+                       for slot in range(2)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+
+            snapshots = [body_of(response) for response in results]
+            assert [snap["state"] for snap in snapshots] == ["done", "done"]
+            assert snapshots[0]["records"] == snapshots[1]["records"]
+            assert snapshots[0]["table"] == snapshots[1]["table"]
+            entries = Query.open(str(tmp_path)).run_history()
+            assert sum(entry["simulations"] for entry in entries) == 4
+        finally:
+            app.drain()
+            app.close()
+
+
+class TestDrain:
+    def test_drain_marks_queued_jobs_partial_and_rejects_submissions(
+            self, tmp_path):
+        app = ServiceApp(str(tmp_path), job_workers=1)
+        submitted = body_of(app.handle(
+            "POST", "/sweeps", {}, json.dumps(SPEC).encode()
+        ))
+        second = body_of(app.handle(
+            "POST", "/sweeps", {}, json.dumps(dict(SPEC, seed=3)).encode()
+        ))
+        drained = app.drain()
+        states = {job.id: job.state for job in app.tracker.jobs()}
+        assert states[submitted["id"]] in ("done", "partial")
+        assert states[second["id"]] in ("done", "partial")
+        assert all(job.state in ("done", "partial") for job in drained) \
+            or drained == []
+        response = app.handle("POST", "/sweeps", {},
+                              json.dumps(SPEC).encode())
+        assert response.status == 503
+        health = body_of(app.handle("GET", "/healthz", {}, b""))
+        assert health["status"] == "draining"
+        app.close()

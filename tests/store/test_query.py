@@ -120,6 +120,20 @@ class TestQuery:
         assert query.where(max_latency=1.5).count() == 2
         assert query.where(workload="nope").count() == 0
 
+    def test_where_key_in_scopes_to_an_explicit_grid(self, tmp_path):
+        """`key_in` restricts to a literal key set -- how the service
+        scopes GET /report/<job> to exactly one job's points."""
+        runner = self._sweep_store(tmp_path)
+        query = runner.results()
+        keys = [record.key for record in query.records()]
+        assert query.where(key_in=keys[:2]).count() == 2
+        assert [r.key for r in query.where(key_in=keys[:2]).records()] \
+            == sorted(keys[:2])
+        assert query.where(key_in=[]).count() == 0
+        assert query.where(key_in=["no-such-key"]).count() == 0
+        # Composes with the other filters.
+        assert query.where(policy="BL", key_in=keys).count() == 2
+
     def test_group_by_multi_arch_sweep(self, tmp_path):
         """Each latency point is a distinct architecture fingerprint;
         group-by splits the grid accordingly."""

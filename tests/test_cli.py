@@ -618,3 +618,59 @@ class TestFaultToleranceCli:
         monkeypatch.setattr(Runner, "simulate_many", interrupt)
         assert main(["experiment", "fig9a"]) == 130
         assert "interrupted" in capsys.readouterr().err
+
+
+class TestReportingErrorHints:
+    """`report`/`diff-runs` on a directory that is not a store must
+    exit 2 through `_fail` (never a traceback) and, when the directory
+    holds un-migrated legacy entries, point at `store migrate`."""
+
+    def _legacy_only(self, tmp_path, name="legacy"):
+        from repro.store import write_legacy_entry
+        root = str(tmp_path / name)
+        write_legacy_entry(
+            root, "btree__BL__0123abcd__0__kfeedface",
+            {"workload": "btree", "policy": "BL", "ipc": 1.0},
+        )
+        return root
+
+    def test_report_on_legacy_dir_points_at_migrate(self, capsys,
+                                                    tmp_path):
+        root = self._legacy_only(tmp_path)
+        assert main(["report", "--dir", root,
+                     "-o", str(tmp_path / "out")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "store migrate" in err
+        assert "Traceback" not in err
+
+    def test_diff_runs_on_legacy_dir_points_at_migrate(self, capsys,
+                                                       tmp_path):
+        root = self._legacy_only(tmp_path)
+        assert main(["diff-runs", root, root]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "store migrate" in err
+        assert "Traceback" not in err
+
+
+class TestServeCommand:
+    """Argument validation of `repro serve` (the served routes are
+    covered in tests/service/)."""
+
+    def test_rejects_zero_workers(self, capsys, tmp_path):
+        assert main(["serve", "--dir", str(tmp_path / "store"),
+                     "--job-workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "--job-workers" in err
+
+    def test_rejects_empty_hosts(self, capsys, tmp_path):
+        assert main(["serve", "--dir", str(tmp_path / "store"),
+                     "--backend", "ssh", "--hosts", " , "]) == 2
+        assert "--hosts is empty" in capsys.readouterr().err
+
+    def test_rejects_bad_store_root(self, capsys, monkeypatch):
+        monkeypatch.setenv("LTRF_CACHE_DIR", "")
+        assert main(["serve"]) == 2
+        assert "set but empty" in capsys.readouterr().err
