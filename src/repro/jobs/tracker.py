@@ -309,12 +309,18 @@ class JobTracker:
             job.state = FAILED
             job.error = f"{type(error).__name__}: {error}"
         finally:
-            if runner is not None:
-                label = job.spec.label or job.spec.describe()
-                runner.log_run(f"{job.id}: {label}")
-                job.telemetry = runner.telemetry_summary()
-            job.finished = time.time()
-            job._finished_event.set()
+            try:
+                if runner is not None:
+                    label = job.spec.label or job.spec.describe()
+                    runner.log_run(f"{job.id}: {label}")
+                    job.telemetry = runner.telemetry_summary()
+            except Exception as error:  # noqa: BLE001 - never block waiters
+                if not job.error:
+                    job.error = (f"run-log write failed: "
+                                 f"{type(error).__name__}: {error}")
+            finally:
+                job.finished = time.time()
+                job._finished_event.set()
         return job
 
     def _execute(self, job: Job, runner: Runner) -> None:
@@ -411,7 +417,7 @@ class JobTracker:
         for workload in spec.workloads:
             table = render_sweep_table(
                 runner, workload, spec.policies, spec.archs,
-                grid=spec.grid, **overrides
+                grid=spec.grid, seed=spec.seed, **overrides
             )
             if len(spec.workloads) > 1:
                 table = f"[{workload}]\n{table}"

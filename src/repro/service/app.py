@@ -216,6 +216,8 @@ class ServiceApp:
             limit = int(params["limit"]) if "limit" in params else None
         except ValueError as error:
             return _error(400, f"bad filter value: {error}")
+        if limit is not None and limit < 0:
+            return _error(400, f"limit must be >= 0, got {limit}")
         try:
             query = self._open_query().where(
                 workload=params.get("workload"),

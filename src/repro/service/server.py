@@ -37,6 +37,12 @@ _REASONS = {
 #: fat-finger guard, not a DoS defence).
 MAX_BODY_BYTES = 1 << 20
 
+#: Header-section bounds: no route needs more than a handful of
+#: headers, so cap both count and total bytes rather than letting a
+#: slow client grow the dict for the whole read timeout.
+MAX_HEADER_LINES = 100
+MAX_HEADER_BYTES = 16 << 10
+
 
 def _encode(response: Response) -> bytes:
     body = response.body.encode("utf-8")
@@ -65,10 +71,15 @@ async def _read_request(
     except (UnicodeDecodeError, ValueError):
         raise ValueError("malformed request line") from None
     headers: Dict[str, str] = {}
+    header_bytes = 0
     while True:
         line = await reader.readline()
         if line in (b"\r\n", b"\n", b""):
             break
+        header_bytes += len(line)
+        if len(headers) >= MAX_HEADER_LINES \
+                or header_bytes > MAX_HEADER_BYTES:
+            raise ValueError("too many request headers")
         name, sep, value = line.decode("latin-1").partition(":")
         if sep:
             headers[name.strip().lower()] = value.strip()

@@ -58,6 +58,43 @@ class TestLifecycle:
             runner, "btree", ("BL", "LTRF"), grid=(1.0, 3.0), **SMALL
         )
 
+    def test_seeded_job_table_renders_without_resimulation(self, tmp_path):
+        """The completed-job table must render the job's own seed as
+        pure store lookups -- a seed-0 re-render would double the
+        simulation count in telemetry and the run log."""
+        from repro.experiments import render_sweep_table
+
+        tracker = JobTracker(str(tmp_path))
+        job = tracker.run(fast_spec(seed=7))
+        assert job.state == "done"
+        assert job.telemetry["simulations"] == 4
+        (entry,) = run_log(str(tmp_path))
+        assert entry["simulations"] == 4
+        runner = Runner(cache_dir=str(tmp_path))
+        assert job.table == render_sweep_table(
+            runner, "btree", ("BL", "LTRF"), grid=(1.0, 3.0), seed=7,
+            **SMALL
+        )
+
+    def test_finished_event_set_when_log_run_fails(self, tmp_path):
+        """A run-log write failure must not leave waiters blocked on
+        an unfinished-looking job."""
+        def factory(spec):
+            runner = Runner(cache_dir=str(tmp_path))
+            def broken_log_run(label):
+                raise OSError("disk full")
+            runner.log_run = broken_log_run
+            return runner
+
+        tracker = JobTracker(str(tmp_path), runner_factory=factory)
+        job = tracker.submit(fast_spec())
+        tracker.execute(job.id)
+        assert job.wait(timeout=0)
+        assert job.state == "done"
+        assert job.finished is not None
+        assert "run-log write failed" in job.error
+        assert "disk full" in job.error
+
     def test_snapshot_is_json_safe(self, tmp_path):
         import json
 

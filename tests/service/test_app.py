@@ -161,6 +161,11 @@ class TestErrors:
         response = app.handle("GET", "/results", {"seed": "many"}, b"")
         assert response.status == 400
 
+    def test_negative_results_limit_400(self, app):
+        response = app.handle("GET", "/results", {"limit": "-1"}, b"")
+        assert response.status == 400
+        assert "limit" in body_of(response)["error"]
+
     def test_results_without_store_404(self, tmp_path):
         app = ServiceApp(str(tmp_path / "missing"), job_workers=1)
         try:

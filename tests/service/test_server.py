@@ -117,6 +117,18 @@ class TestOverHttp:
             reply = sock.recv(4096)
         assert reply.startswith(b"HTTP/1.1 400")
 
+    def test_header_flood_is_400(self, served):
+        url, _, _ = served
+        port = int(url.rsplit(":", 1)[1])
+        flood = b"GET /healthz HTTP/1.1\r\n" + b"".join(
+            b"X-Pad-%d: filler\r\n" % i for i in range(200)
+        ) + b"\r\n"
+        with socket.create_connection(("127.0.0.1", port),
+                                      timeout=10.0) as sock:
+            sock.sendall(flood)
+            reply = sock.recv(4096)
+        assert reply.startswith(b"HTTP/1.1 400")
+
     def test_connection_close_semantics(self, served):
         url, _, _ = served
         port = int(url.rsplit(":", 1)[1])
